@@ -1,0 +1,25 @@
+"""Fig. 8 — Gather algorithms: the Scatter designs mirrored.
+
+Shape criteria (paper Section IV-B4): trends mirror Scatter — throttled
+writes win the medium/large range, with k ~ 4-8 on KNL and ~10 on POWER8.
+"""
+
+
+def bench_fig08_gather_algos(regen):
+    exp = regen("fig08")
+    knl = exp.data["knl"]["grid"]
+    big = max(knl)
+
+    assert min(knl[big], key=knl[big].get) in ("thr-4", "thr-8")
+    worst_two = sorted(knl[big], key=knl[big].get)[-2:]
+    assert "par-write" in worst_two
+
+    p8 = exp.data["power8"]["grid"]
+    assert min(p8[max(p8)], key=p8[max(p8)].get) == "thr-10"
+
+    # mirror symmetry with Scatter: same winner family at large sizes
+    for name in ("knl", "broadwell", "power8"):
+        grid = exp.data[name]["grid"]
+        row = grid[max(grid)]
+        best = min(row, key=row.get)
+        assert best.startswith("thr-"), name

@@ -1,0 +1,29 @@
+"""Fig. 10 — Allgather algorithms across architectures.
+
+Shape criteria (paper Section V-A5): Bruck loses for large messages
+(extra copies); recursive doubling is competitive only at power-of-two
+process counts; on the two-socket Broadwell, Ring-Neighbor-1 (intra-socket
+hops) beats Ring-Neighbor-5 (inter-socket hops).
+"""
+
+
+def bench_fig10_allgather_algos(regen):
+    exp = regen("fig10")
+
+    knl = exp.data["knl"]["grid"]  # quick mode: 32 procs = power of two
+    big = max(knl)
+    assert knl[big]["bruck"] > 1.3 * knl[big]["ring-src-rd"]
+    assert knl[big]["rec-dbl"] < 1.25 * knl[big]["ring-src-rd"]
+
+    bdw = exp.data["broadwell"]["grid"]  # 28 procs: not a power of two
+    big_b = max(bdw)
+    # RD's fold/pull tax at 28 procs
+    assert bdw[big_b]["rec-dbl"] > bdw[big_b]["ring-src-rd"]
+    # socket-aware stride choice (Fig 10(b))
+    assert bdw[big_b]["ring-nbr-1"] < bdw[big_b]["ring-nbr-5"]
+
+    # reading straight from the source never loses to the neighbor ring
+    for name in exp.data:
+        grid = exp.data[name]["grid"]
+        row = grid[max(grid)]
+        assert row["ring-src-rd"] <= row["ring-nbr-1"] * 1.1, name

@@ -1,0 +1,29 @@
+"""Fig. 14 — MPI_Gather: Proposed vs library models.
+
+Shape criteria (paper Section VII-C): like Scatter, multi-x improvements
+across the size range; CMA already pays off at small sizes ("beneficial
+for messages as small as 1KB").
+"""
+
+from repro.core.baselines import library
+from repro.core.tuning import Tuner
+from repro.machine import get_arch
+
+
+def bench_fig14_gather_vs_libs(regen):
+    exp = regen("fig14")
+    for name, d in exp.data.items():
+        grid = d["grid"]
+        best_gain = 0.0
+        for eta, row in grid.items():
+            ours = row["proposed"]
+            for lib in ("mvapich2", "intelmpi", "openmpi"):
+                assert ours <= row[lib] * 1.15, (name, eta, lib)
+                best_gain = max(best_gain, row[lib] / ours)
+        assert best_gain > 3.0, name
+
+    # the small-message claim: CMA gather already wins at a few KB
+    tuner = Tuner(get_arch("knl"))
+    ours = tuner.run("gather", 2048, 32).latency_us
+    theirs = library("intelmpi").run("gather", get_arch("knl"), 2048, 32).latency_us
+    assert ours < theirs

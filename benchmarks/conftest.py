@@ -1,0 +1,23 @@
+"""Shared helpers for the figure/table benchmarks.
+
+Every bench regenerates one evaluation artifact in quick mode, asserts the
+paper's *shape* criteria on the raw data (who wins, where the crossovers
+fall), and reports the regeneration time through pytest-benchmark.
+"""
+
+import pytest
+
+from repro.bench.figures import run_experiment
+
+
+@pytest.fixture
+def regen(benchmark):
+    """Run an experiment once under the benchmark timer and return it."""
+
+    def _run(exp_id: str):
+        return benchmark.pedantic(
+            run_experiment, args=(exp_id,), kwargs={"quick": True},
+            rounds=1, iterations=1,
+        )
+
+    return _run

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Contention explorer: measure and fit the contention factor gamma(c).
+
+Reproduces the paper's Section II methodology end to end on any of the
+three architecture models:
+
+* trigger individual CMA steps via iovec games (Table III),
+* derive alpha / beta / l (Table IV),
+* measure per-page lock+pin time across reader counts and fit gamma with
+  nonlinear least squares (Fig. 5),
+* show where the throughput sweet spot lands (Fig. 6) — the number the
+  throttled designs are built around.
+
+Run:  python examples/contention_explorer.py [knl|broadwell|power8]
+"""
+
+import sys
+
+from repro.bench import microbench
+from repro.core import fitting
+from repro.machine import get_arch
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "knl"
+    arch = get_arch(name)
+    topo = arch.topology
+    print(f"architecture: {name} ({topo.sockets} socket(s) x "
+          f"{topo.cores_per_socket} cores x {topo.threads_per_core} threads)\n")
+
+    # -- Table III: step triggering ---------------------------------------
+    print("Table III: step timings (8 pages)")
+    steps = fitting.measure_steps(arch, pages=8)
+    print(f"  T1 syscall   {steps.t1_syscall:8.2f} us")
+    print(f"  T2 +check    {steps.t2_check:8.2f} us")
+    print(f"  T3 +lock/pin {steps.t3_lock_pin:8.2f} us")
+    print(f"  T4 +copy     {steps.t4_copy:8.2f} us\n")
+
+    # -- Table IV: derived constants ---------------------------------------
+    base = fitting.derive_base_params(arch)
+    print("Table IV: derived parameters")
+    print(f"  alpha = {base.alpha:.2f} us   beta = {base.beta_gbps:.2f} GB/s   "
+          f"l = {base.l_page:.2f} us   s = {base.page_size:,} B\n")
+
+    # -- Fig 5: gamma fit ----------------------------------------------------
+    top = min(arch.default_procs - 1, 32)
+    readers = sorted({1, 2, 4, 8, 12, 16, top})
+    samples = fitting.measure_gamma(arch, page_counts=(10, 50), reader_counts=readers)
+    knee = topo.cores_per_socket if topo.sockets > 1 else None
+    fit = fitting.fit_gamma(samples, knee=knee)
+    print("Fig 5: contention factor (measured -> fitted)")
+    for c in readers:
+        meas = [s.gamma for s in samples if s.readers == c]
+        mean = sum(meas) / len(meas)
+        bar = "#" * min(60, int(fit(c)))
+        print(f"  c={c:>3}  measured {mean:8.1f}  fit {fit(c):8.1f}  {bar}")
+    spill = f" + {fit.spill:.3f}(c-{fit.knee})^2 beyond one socket" if fit.spill else ""
+    print(f"  gamma(c) = 1 + {fit.g1:.2f}(c-1) + {fit.g2:.3f}(c-1)^2{spill}\n")
+
+    # -- Fig 6: the sweet spot -------------------------------------------------
+    print("Fig 6: relative aggregate throughput, 1 MiB reads")
+    best_c, best_v = 1, 1.0
+    for c in readers:
+        if c == 1:
+            continue
+        rel = microbench.relative_throughput(arch, c, 1 << 20)
+        marker = " <-- sweet spot so far" if rel > best_v else ""
+        if rel > best_v:
+            best_c, best_v = c, rel
+        print(f"  {c:>3} readers: {rel:6.2f}x{marker}")
+    print(f"\nThrottle factor suggestion for {name}: ~{best_c} "
+          f"(paper: {arch.throttle_candidates})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Multi-node scaling: the two-level Gather of Section VII-G (Fig. 17).
+
+Shows why the contention-aware intra-node designs change the multi-node
+picture: once the per-node gather is fast, a hierarchical (two-level)
+gather beats the traditional flat design, and the advantage *grows* with
+node count — plus the paper's future-work pipelined variant.
+
+Run:  python examples/multinode_scaling.py
+"""
+
+from repro.bench.report import format_bytes, format_us
+from repro.core.multinode import MultiNodeModel
+from repro.machine import get_arch
+
+
+def main() -> None:
+    mn = MultiNodeModel(get_arch("knl"))
+    ppn = 64
+
+    for nodes in (2, 4, 8):
+        print(f"\n{nodes} KNL nodes x {ppn} ppn = {nodes * ppn} processes")
+        print(f"{'size':>6} {'flat':>10} {'two-level':>10} {'pipelined':>10} {'speedup':>8}")
+        print("-" * 50)
+        eta = 16 * 1024
+        while eta <= 1 << 20:
+            pt = mn.fig17_point(nodes, ppn, eta)
+            print(
+                f"{format_bytes(eta):>6} {format_us(pt['flat']):>10} "
+                f"{format_us(pt['two_level']):>10} {format_us(pt['pipelined']):>10} "
+                f"{pt['speedup']:>7.1f}x"
+            )
+            eta *= 4
+
+    print("""
+Why the speedup GROWS with node count (the paper's counter-intuitive
+result): the flat design lands (nodes-1)*ppn separate messages in the
+root's unexpected queue — per-message latency plus O(queue) matching —
+while the two-level design pays those costs once per *node* and runs all
+intra-node gathers in parallel.""")
+
+
+if __name__ == "__main__":
+    main()

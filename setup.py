@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Kept so ``pip install -e .`` works on hosts without the ``wheel`` package
+(no PEP 660 build backend available offline); all metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,63 @@
+"""repro — Contention-Aware Kernel-Assisted MPI Collectives (CLUSTER 2017).
+
+A full-system reproduction of Chakraborty, Subramoni & Panda's
+contention-aware CMA collectives paper:
+
+* :mod:`repro.sim` — discrete-event simulator (virtual microseconds).
+* :mod:`repro.machine` — KNL / Broadwell / POWER8 node models (Table V/IV).
+* :mod:`repro.kernel` — simulated ``process_vm_readv``/``writev`` with the
+  mm-lock contention that motivates the paper, plus KNEM/LiMIC variants.
+* :mod:`repro.shm` — two-copy shared-memory transport and control-message
+  collectives.
+* :mod:`repro.mpi` — a mini-MPI: communicators, eager/rendezvous pt2pt.
+* :mod:`repro.core` — the paper's contribution: the analytic cost model,
+  NLLS gamma fitting, every collective algorithm from Sections IV-V, the
+  tuning layer ("Proposed"), baseline library models, and multi-node
+  two-level designs.
+* :mod:`repro.realcma` — ctypes bindings to the real syscalls, with a
+  multiprocessing microbenchmark harness.
+* :mod:`repro.bench` — regenerates every evaluation table and figure.
+
+Quickstart::
+
+    from repro import get_arch, run_collective, CollectiveSpec
+    spec = CollectiveSpec(collective="scatter", algorithm="throttled_read",
+                          arch=get_arch("knl"), procs=16, eta=65536,
+                          params={"k": 4})
+    result = run_collective(spec)
+    print(result.latency_us)
+"""
+
+from repro.machine import get_arch, Architecture, ARCH_NAMES
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "get_arch",
+    "Architecture",
+    "ARCH_NAMES",
+    "CollectiveSpec",
+    "CollectiveResult",
+    "run_collective",
+    "AnalyticModel",
+    "Tuner",
+    "__version__",
+]
+
+
+def __getattr__(name):
+    # Lazy imports keep `import repro` cheap and avoid import cycles while
+    # still exposing the headline API at the package root.
+    if name in ("CollectiveSpec", "CollectiveResult", "run_collective"):
+        from repro.core import runner
+
+        return getattr(runner, name)
+    if name == "AnalyticModel":
+        from repro.core.model import AnalyticModel
+
+        return AnalyticModel
+    if name == "Tuner":
+        from repro.core.tuning import Tuner
+
+        return Tuner
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,12 @@
+"""Experiment harness: microbenchmarks and figure/table generators.
+
+``python -m repro.bench <experiment-id>`` regenerates any evaluation
+artifact (``fig02`` .. ``fig18``, ``tab03`` .. ``tab07``, ``ablation-*``);
+see :mod:`repro.bench.figures` for the catalogue and DESIGN.md for the
+experiment index.
+"""
+
+from repro.bench import microbench
+from repro.bench.report import Table, Series, format_bytes
+
+__all__ = ["microbench", "Table", "Series", "format_bytes"]

@@ -1,0 +1,54 @@
+"""CLI: regenerate any evaluation table or figure.
+
+Usage::
+
+    python -m repro.bench fig07            # quick axes
+    python -m repro.bench fig07 --full     # the paper's full axes
+    python -m repro.bench all              # everything (quick)
+    python -m repro.bench --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.figures import experiment_ids, run_experiment
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's evaluation tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        help="experiment id (fig02..fig18, tab03..tab07, ablation_*) or 'all'",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="use the paper's full sweep axes (slower)",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiment:
+        print("Available experiments:")
+        for eid in experiment_ids():
+            print(f"  {eid}")
+        return 0
+
+    ids = experiment_ids() if args.experiment == "all" else [args.experiment]
+    for eid in ids:
+        t0 = time.time()
+        exp = run_experiment(eid, quick=not args.full)
+        print(exp.render())
+        print(f"\n[{eid} regenerated in {time.time() - t0:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,86 @@
+"""ASCII reporting: the tables and series the paper's figures show.
+
+Benchmarks print these so a run of ``python -m repro.bench fig07`` produces
+the same rows/columns as the paper's Figure 7 — message sizes down the
+side, algorithms across the top, latency in microseconds in the cells.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, Sequence
+
+__all__ = ["format_bytes", "format_us", "Table", "Series"]
+
+
+def format_bytes(n: int) -> str:
+    """1024 -> '1K', 4194304 -> '4M' (the paper's x-axis labels)."""
+    for unit, div in (("G", 1 << 30), ("M", 1 << 20), ("K", 1 << 10)):
+        if n >= div and n % div == 0:
+            return f"{n // div}{unit}"
+        if n >= div:
+            return f"{n / div:.1f}{unit}"
+    return str(n)
+
+
+def format_us(t: float) -> str:
+    if t >= 100_000:
+        return f"{t / 1000:.0f}ms"
+    if t >= 1000:
+        return f"{t:.0f}"
+    if t >= 10:
+        return f"{t:.1f}"
+    return f"{t:.2f}"
+
+
+class Table:
+    """A simple aligned table with a title."""
+
+    def __init__(self, title: str, columns: Sequence[str]):
+        self.title = title
+        self.columns = list(columns)
+        self.rows: list[list[str]] = []
+
+    def add(self, *cells: Any) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append([str(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(self.columns))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append(
+                "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+class Series(Table):
+    """A figure-like table: x values (message sizes) vs named series."""
+
+    def __init__(self, title: str, xlabel: str, names: Sequence[str]):
+        super().__init__(title, [xlabel, *names])
+        self.names = list(names)
+
+    def add_point(self, x: int, values: dict[str, float]) -> None:
+        self.add(
+            format_bytes(x),
+            *(format_us(values[n]) if n in values else "-" for n in self.names),
+        )
+
+    def add_raw_point(self, xlabel: str, values: dict[str, float]) -> None:
+        self.add(
+            xlabel,
+            *(format_us(values[n]) if n in values else "-" for n in self.names),
+        )

@@ -1,0 +1,39 @@
+"""The paper's contribution: contention-aware kernel-assisted collectives.
+
+Layout
+------
+
+========================  ====================================================
+Module                    Contents
+========================  ====================================================
+``scatter``               One-to-all: parallel read / sequential write /
+                          throttled read (Section IV-A)
+``gather``                All-to-one: parallel write / sequential read /
+                          throttled write (Section IV-B)
+``alltoall``              Pairwise exchange — native CMA, pt2pt-CMA and
+                          SHMEM variants — plus Bruck (Section IV-C)
+``allgather``             Ring-Source (r/w), Ring-Neighbor-j, recursive
+                          doubling, Bruck (Section V-A)
+``bcast``                 Direct read/write, k-nomial, scatter-allgather
+                          (Section V-B)
+``registry``              Name -> algorithm factory, with validity rules
+``runner``                Build a node, execute, verify MPI semantics, time
+``model``                 Closed-form costs (Section II formulas)
+``fitting``               Table III step timing + Fig 5 NLLS gamma fit
+``tuning``                The "Proposed" selection layer
+``baselines``             MVAPICH2 / Intel MPI / Open MPI library models
+``multinode``             Two-level multi-node designs (Section VII-G)
+========================  ====================================================
+"""
+
+from repro.core.runner import CollectiveSpec, CollectiveResult, run_collective
+from repro.core.registry import get_algorithm, algorithms_for, ALGORITHMS
+
+__all__ = [
+    "CollectiveSpec",
+    "CollectiveResult",
+    "run_collective",
+    "get_algorithm",
+    "algorithms_for",
+    "ALGORITHMS",
+]

@@ -1,0 +1,97 @@
+"""Shared helpers for the collective algorithms."""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "nonroot_order",
+    "is_power_of_two",
+    "chunk_partition",
+    "rd_held_blocks",
+    "knomial_parent_children",
+]
+
+
+def nonroot_order(size: int, root: int) -> list[int]:
+    """Non-root ranks in the canonical order used by throttled chains."""
+    return [r for r in range(size) if r != root]
+
+
+def is_power_of_two(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def chunk_partition(nbytes: int, parts: int) -> list[tuple[int, int]]:
+    """Split ``nbytes`` into ``parts`` (offset, length) chunks.
+
+    The remainder spreads over the first chunks, so sizes differ by at most
+    one byte — the scatter-allgather Bcast partition (which the paper notes
+    is not page aligned for non-power-of-two p, costing a little extra).
+    """
+    if parts <= 0:
+        raise ValueError("parts must be positive")
+    base, rem = divmod(nbytes, parts)
+    out = []
+    off = 0
+    for i in range(parts):
+        ln = base + (1 if i < rem else 0)
+        out.append((off, ln))
+        off += ln
+    return out
+
+
+def rd_held_blocks(rank: int, step: int, m: int, rem: int) -> list[int]:
+    """Blocks held by ``rank`` (< m) after ``step`` recursive-doubling steps.
+
+    ``m`` is the largest power of two <= p and ``rem = p - m``.  Before step
+    0, rank q holds {q} plus {q+m} if q < rem (folded in by the non-power-of-
+    two pre-phase).  Each step unions a rank's set with its partner's, so
+    after ``step`` steps rank q holds the sets of its aligned 2**step group.
+    Deterministic on both sides — readers compute their partner's holdings
+    locally, no metadata exchange needed.
+    """
+    group = rank & ~((1 << step) - 1)
+    blocks = []
+    for q in range(group, min(group + (1 << step), m)):
+        blocks.append(q)
+        if q < rem:
+            blocks.append(q + m)
+    return sorted(blocks)
+
+
+def knomial_parent_children(
+    relrank: int, size: int, k: int
+) -> tuple[int | None, list[list[int]]]:
+    """Parent and per-level children of ``relrank`` in a k-nomial tree.
+
+    Returns ``(parent_relrank_or_None, levels)`` where ``levels`` is a list
+    (top level first) of child groups; each group has at most ``k - 1``
+    members — the bounded reader concurrency the k-nomial Bcast is built
+    around.  Mirrors the classic MVAPICH knomial loop.
+    """
+    if k < 2:
+        raise ValueError("k-nomial radix must be >= 2")
+    parent = None
+    mask = 1
+    while mask < size:
+        if relrank % (mask * k) != 0:
+            parent = relrank - (relrank % (mask * k))
+            break
+        mask *= k
+    if parent is None:
+        # root of the tree: start from the top mask
+        mask = k ** max(0, math.ceil(math.log(size, k)) - 1)
+    else:
+        mask //= k
+    levels: list[list[int]] = []
+    while mask >= 1:
+        group = [
+            relrank + j * mask
+            for j in range(1, k)
+            if relrank + j * mask < size
+        ]
+        if group:
+            levels.append(group)
+        mask //= k
+    return parent, levels

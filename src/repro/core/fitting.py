@@ -1,0 +1,222 @@
+"""Parameter extraction: Table III step timings -> Table IV constants,
+and the Fig. 5 nonlinear-least-squares fit of the contention factor.
+
+The pipeline mirrors the paper exactly:
+
+1. Trigger individual CMA steps with iovec games (Table III) and derive
+   ``alpha = T2``, ``l = (T3 - T2) / N``, ``beta = (T4 - T3) / (N*s)``.
+2. Measure per-page lock+pin time for several page counts and reader
+   counts; the ratio to the single-reader value is the *measured* gamma.
+3. Fit ``gamma(c) = 1 + g1*(c-1) + g2*(c-1)^2`` with
+   ``scipy.optimize.curve_fit`` (Levenberg-Marquardt — the Marquardt
+   citation in the paper), optionally with the socket-spill knee.
+
+Because the simulator's contention is *emergent* (queueing on a bounced
+lock, nothing closed-form), the fit is a real inference step: tests check
+it recovers the expected family, not a hard-coded answer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+from scipy.optimize import curve_fit
+
+from repro.bench import microbench
+from repro.machine.arch import Architecture
+
+__all__ = [
+    "StepTimes",
+    "BaseParams",
+    "GammaSample",
+    "GammaFit",
+    "measure_steps",
+    "derive_base_params",
+    "measure_gamma",
+    "fit_gamma",
+    "fit_architecture",
+    "FittedArchitecture",
+]
+
+
+@dataclass(frozen=True)
+class StepTimes:
+    """Table III measurements for one page count: T1 <= T2 <= T3 <= T4."""
+
+    pages: int
+    t1_syscall: float
+    t2_check: float
+    t3_lock_pin: float
+    t4_copy: float
+
+
+@dataclass(frozen=True)
+class BaseParams:
+    """Table IV's uncontended columns, as derived from step timings."""
+
+    alpha: float
+    l_page: float
+    beta: float  # us per byte
+    page_size: int
+
+    @property
+    def beta_gbps(self) -> float:
+        return 1.0 / (self.beta * 1000.0)
+
+
+@dataclass(frozen=True)
+class GammaSample:
+    pages: int
+    readers: int
+    gamma: float  # measured lock+pin time ratio vs a single reader
+
+
+@dataclass(frozen=True)
+class GammaFit:
+    """gamma(c) = 1 + g1*(c-1) + g2*(c-1)^2 [+ spill*(c-knee)^2 past knee]."""
+
+    g1: float
+    g2: float
+    spill: float = 0.0
+    knee: int = 10 ** 9
+    residual: float = 0.0
+
+    def __call__(self, c: float) -> float:
+        if c <= 1:
+            return 1.0
+        x = c - 1.0
+        g = 1.0 + self.g1 * x + self.g2 * x * x
+        over = c - self.knee
+        if over > 0:
+            g += self.spill * over * over
+        return g
+
+
+def measure_steps(arch: Architecture, pages: int) -> StepTimes:
+    """Run the four Table III configurations for one page count."""
+    return StepTimes(
+        pages=pages,
+        t1_syscall=microbench.step_timing(arch, "syscall", pages),
+        t2_check=microbench.step_timing(arch, "check", pages),
+        t3_lock_pin=microbench.step_timing(arch, "lock_pin", pages),
+        t4_copy=microbench.step_timing(arch, "copy", pages),
+    )
+
+
+def derive_base_params(
+    arch: Architecture, page_counts: Sequence[int] = (4, 16, 64)
+) -> BaseParams:
+    """alpha = T2; l and beta from least-squares slopes over page counts."""
+    steps = [measure_steps(arch, n) for n in page_counts]
+    alpha = float(np.mean([s.t2_check for s in steps]))
+    ns = np.array([s.pages for s in steps], dtype=float)
+    lock = np.array([s.t3_lock_pin - s.t2_check for s in steps])
+    copy = np.array([s.t4_copy - s.t3_lock_pin for s in steps])
+    # slopes through the origin: sum(x*y)/sum(x*x)
+    l_page = float(lock @ ns / (ns @ ns))
+    s = arch.params.page_size
+    beta = float(copy @ ns / (ns @ ns)) / s
+    return BaseParams(alpha=alpha, l_page=l_page, beta=beta, page_size=s)
+
+
+def measure_gamma(
+    arch: Architecture,
+    page_counts: Sequence[int] = (10, 50, 100),
+    reader_counts: Optional[Sequence[int]] = None,
+) -> list[GammaSample]:
+    """Per-page lock+pin ratios across page and reader counts (Fig. 5 data)."""
+    if reader_counts is None:
+        top = min(arch.default_procs - 1, 64)
+        reader_counts = sorted(
+            {1, 2, 4}
+            | {c for c in (8, 12, 16, 24, 32, 48, 64) if c <= top}
+            | {top}
+        )
+    samples = []
+    for pages in page_counts:
+        base = microbench.lock_pin_per_page(arch, 1, pages)
+        for c in reader_counts:
+            t = base if c == 1 else microbench.lock_pin_per_page(arch, c, pages)
+            samples.append(GammaSample(pages=pages, readers=c, gamma=t / base))
+    return samples
+
+
+def fit_gamma(
+    samples: Sequence[GammaSample], knee: Optional[int] = None
+) -> GammaFit:
+    """NLLS fit of the gamma polynomial (optionally with a socket knee).
+
+    The paper observes gamma is independent of the page count, so samples
+    from all page counts are pooled into one fit.
+    """
+    if not samples:
+        raise ValueError("no gamma samples to fit")
+    c = np.array([s.readers for s in samples], dtype=float)
+    y = np.array([s.gamma for s in samples], dtype=float)
+
+    if knee is None:
+
+        def f(c, g1, g2):
+            x = np.maximum(c - 1.0, 0.0)
+            return 1.0 + g1 * x + g2 * x * x
+
+        p0 = (1.0, 0.05)
+        bounds = ([0.0, 0.0], [np.inf, np.inf])
+    else:
+
+        def f(c, g1, g2, spill):
+            x = np.maximum(c - 1.0, 0.0)
+            over = np.maximum(c - knee, 0.0)
+            return 1.0 + g1 * x + g2 * x * x + spill * over * over
+
+        p0 = (1.0, 0.05, 0.01)
+        bounds = ([0.0, 0.0, 0.0], [np.inf, np.inf, np.inf])
+
+    popt, _ = curve_fit(f, c, y, p0=p0, bounds=bounds, maxfev=20_000)
+    resid = float(np.sqrt(np.mean((f(c, *popt) - y) ** 2)))
+    if knee is None:
+        return GammaFit(g1=popt[0], g2=popt[1], residual=resid)
+    return GammaFit(
+        g1=popt[0], g2=popt[1], spill=popt[2], knee=knee, residual=resid
+    )
+
+
+@dataclass
+class FittedArchitecture:
+    """Everything Table IV reports for one machine, plus fit quality."""
+
+    arch_name: str
+    base: BaseParams
+    gamma: GammaFit
+    samples: list[GammaSample] = field(default_factory=list)
+
+    def as_table_row(self) -> dict[str, str]:
+        g = self.gamma
+        spill = f" + {g.spill:.3f}(c-{g.knee})^2 [c>{g.knee}]" if g.spill else ""
+        return {
+            "alpha": f"{self.base.alpha:.2f} us",
+            "beta": f"{self.base.beta_gbps:.2f} GBps",
+            "l": f"{self.base.l_page:.2f} us",
+            "s": f"{self.base.page_size:,} Bytes",
+            "gamma(c)": f"1 + {g.g1:.2f}(c-1) + {g.g2:.3f}(c-1)^2{spill}",
+        }
+
+
+def fit_architecture(
+    arch: Architecture,
+    page_counts: Sequence[int] = (10, 50, 100),
+    reader_counts: Optional[Sequence[int]] = None,
+) -> FittedArchitecture:
+    """The full Table IV pipeline for one architecture."""
+    base = derive_base_params(arch)
+    samples = measure_gamma(arch, page_counts, reader_counts)
+    knee = None
+    if arch.topology.sockets > 1:
+        knee = arch.topology.cores_per_socket
+    gamma = fit_gamma(samples, knee=knee)
+    return FittedArchitecture(
+        arch_name=arch.name, base=base, gamma=gamma, samples=samples
+    )

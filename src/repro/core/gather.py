@@ -1,0 +1,95 @@
+"""All-to-one personalized: MPI_Gather (paper Section IV-B).
+
+Mirror images of the Scatter designs with the CMA direction reversed —
+writers now contend on the *root's* mm lock:
+
+* ``parallel_write``   — every non-root writes its block into the root's
+  receive buffer concurrently (gamma(p-1) contention).
+* ``sequential_read``  — the root reads each non-root's block in turn
+  (p-1 steps, no contention).
+* ``throttled_write(k)`` — at most ``k`` concurrent writers, chained with
+  pt2pt tokens exactly like throttled-read Scatter.
+
+Buffer contract: every rank's ``sendbuf`` holds one ``eta``-byte block; the
+root's ``recvbuf`` holds p blocks in rank order.  ``in_place`` means the
+root's block is already sitting at ``recvbuf[root]``.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.core.common import nonroot_order
+from repro.mpi.communicator import RankCtx
+
+__all__ = ["parallel_write", "sequential_read", "throttled_write"]
+
+
+def _root_self_copy(ctx: RankCtx) -> Generator:
+    """Root moves its own block sendbuf -> recvbuf[root] (skipped in-place)."""
+    if not ctx.in_place:
+        yield from ctx.memcpy(
+            ctx.recvbuf, ctx.root * ctx.eta, ctx.sendbuf, 0, ctx.eta
+        )
+
+
+def parallel_write(ctx: RankCtx) -> Generator:
+    """All non-roots write concurrently: T = T_bcast^sm + a + nB + l*g(p)*n/s + T_gather^sm."""
+    op = ctx.next_op()
+    payload = ctx.recvbuf.addr if ctx.is_root else None
+    dst_addr = yield from ctx.sm_bcast(("ga-pw", op), payload, root=ctx.root)
+    if ctx.is_root:
+        yield from _root_self_copy(ctx)
+    else:
+        yield from ctx.cma_write(
+            ctx.root,
+            ctx.sendbuf.iov(0, ctx.eta),
+            (dst_addr + ctx.rank * ctx.eta, ctx.eta),
+        )
+    # completion: root may not touch recvbuf until every block has landed
+    yield from ctx.sm_gather(("ga-pw-fin", op), value=True, root=ctx.root)
+
+
+def sequential_read(ctx: RankCtx) -> Generator:
+    """Root reads one block at a time: p-1 uncontended transfers."""
+    op = ctx.next_op()
+    value = None if ctx.is_root else ctx.sendbuf.addr
+    addrs = yield from ctx.sm_gather(("ga-sr", op), value, root=ctx.root)
+    if ctx.is_root:
+        for src in nonroot_order(ctx.size, ctx.root):
+            yield from ctx.cma_read(
+                src,
+                ctx.recvbuf.iov(src * ctx.eta, ctx.eta),
+                (addrs[src], ctx.eta),
+            )
+        yield from _root_self_copy(ctx)
+    # completion: non-roots learn their sendbuf is reusable
+    yield from ctx.sm_bcast(("ga-sr-fin", op), True, root=ctx.root)
+
+
+def throttled_write(ctx: RankCtx, k: int) -> Generator:
+    """At most ``k`` concurrent writers into the root's receive buffer."""
+    if k < 1:
+        raise ValueError("throttle factor must be >= 1")
+    op = ctx.next_op()
+    payload = ctx.recvbuf.addr if ctx.is_root else None
+    dst_addr = yield from ctx.sm_bcast(("ga-tw", op), payload, root=ctx.root)
+    order = nonroot_order(ctx.size, ctx.root)
+    nwrite = len(order)
+    if ctx.is_root:
+        yield from _root_self_copy(ctx)
+        for pos in range(max(0, nwrite - k), nwrite):
+            yield ctx.ctrl_recv(order[pos], ("ga-tw-fin", op))
+    else:
+        pos = order.index(ctx.rank)
+        if pos - k >= 0:
+            yield ctx.ctrl_recv(order[pos - k], ("ga-tw-tok", op))
+        yield from ctx.cma_write(
+            ctx.root,
+            ctx.sendbuf.iov(0, ctx.eta),
+            (dst_addr + ctx.rank * ctx.eta, ctx.eta),
+        )
+        if pos + k < nwrite:
+            yield ctx.ctrl_send(order[pos + k], ("ga-tw-tok", op))
+        if pos >= nwrite - k:
+            yield ctx.ctrl_send(ctx.root, ("ga-tw-fin", op))

@@ -1,0 +1,148 @@
+"""Multi-node two-level collectives (paper Section VII-G, Fig. 17).
+
+The paper's multi-node result: libraries used *single-level* (flat)
+algorithms for large-message Gather because intra-node Gather used to be
+slow; with the contention-aware intra-node designs, a **two-level** scheme
+(node leaders gather locally in parallel, then one inter-node message per
+node) wins, and the win *grows* with node count — 2x/3x/5x at 2/4/8 KNL
+nodes — because the flat design pays per-message network latency and
+root-side matching for every remote rank, while the two-level design pays
+it once per node.
+
+The network is an alpha-beta model (EDR IB / Omni-Path class) with a
+per-message root-side matching/progress cost ``t_match``; intra-node
+latencies come from the same machinery as the single-node experiments
+(the Tuner's model for the proposed design, a baseline library's pick for
+the flat design).
+
+A **pipelined** two-level variant (the paper's future-work extension) is
+included: the inter-node phase streams node payloads in chunks so the
+root's NIC starts as soon as the first leader finishes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.baselines import LibraryModel, library
+from repro.core.model import AnalyticModel
+from repro.core.tuning import Tuner
+from repro.machine.arch import Architecture
+
+__all__ = ["MultiNodeModel"]
+
+
+@dataclass
+class MultiNodeModel:
+    """Multi-node latency predictor on top of the single-node machinery."""
+
+    arch: Architecture
+    tuner: Optional[Tuner] = None
+
+    def __post_init__(self) -> None:
+        if self.tuner is None:
+            self.tuner = Tuner(self.arch)
+        self.model = AnalyticModel(self.arch)
+
+    # -- network primitives -----------------------------------------------------
+
+    def net_msg(self, nbytes: int) -> float:
+        """One network message absorbed at the root: latency + wire + match."""
+        p = self.arch.params
+        return p.alpha_net + nbytes * p.net_beta + p.t_match
+
+    # -- gather ---------------------------------------------------------------------
+
+    def gather_two_level(self, nodes: int, ppn: int, eta: int) -> float:
+        """Proposed: parallel intra-node gathers, then one message per node.
+
+        Leaders gather ppn blocks locally (contention-aware design), all
+        nodes in parallel; then nodes-1 leader payloads of ppn*eta bytes
+        drain into the global root serially at the NIC.
+        """
+        intra = self.tuner.choose("gather", eta, ppn).predicted_us
+        inter = sum(self.net_msg(ppn * eta) for _ in range(nodes - 1))
+        return intra + inter
+
+    def gather_two_level_pipelined(
+        self, nodes: int, ppn: int, eta: int, chunks: int = 8
+    ) -> float:
+        """Extension: leaders stream their payload in chunks, overlapping
+        the inter-node drain with the tail of the intra-node gathers."""
+        intra = self.tuner.choose("gather", eta, ppn).predicted_us
+        chunk_bytes = math.ceil(ppn * eta / chunks)
+        per_node = chunks * self.net_msg(chunk_bytes)
+        # the wire work overlaps all but the first chunk of intra time
+        inter = (nodes - 1) * per_node
+        overlap = min(intra * (1 - 1 / chunks), inter * 0.5)
+        return intra + inter - overlap
+
+    def gather_single_level(
+        self, nodes: int, ppn: int, eta: int, lib: LibraryModel
+    ) -> float:
+        """Flat gather: every remote rank sends its own block to the root;
+        same-node ranks use the library's intra-node design.
+
+        All remote ranks fire at once, so the root's unexpected-message
+        queue holds O(remote) entries and each arrival pays a traversal
+        proportional to the queue depth — the well-known O(M^2) matching
+        behaviour that makes flat designs collapse at scale (and why the
+        paper's two-level speedup *grows* with node count).
+        """
+        remote_msgs = (nodes - 1) * ppn
+        inter = sum(self.net_msg(eta) for _ in range(remote_msgs))
+        matching = self.arch.params.t_match * remote_msgs * (remote_msgs - 1) / 2
+        alg, params = lib.select("gather", eta, ppn)
+        intra = self._lib_intra("gather", alg, params, ppn, eta)
+        return intra + inter + matching
+
+    # -- scatter (mirrored) ------------------------------------------------------------
+
+    def scatter_two_level(self, nodes: int, ppn: int, eta: int) -> float:
+        intra = self.tuner.choose("scatter", eta, ppn).predicted_us
+        inter = sum(self.net_msg(ppn * eta) for _ in range(nodes - 1))
+        return inter + intra
+
+    def scatter_single_level(
+        self, nodes: int, ppn: int, eta: int, lib: LibraryModel
+    ) -> float:
+        remote_msgs = (nodes - 1) * ppn
+        inter = sum(self.net_msg(eta) for _ in range(remote_msgs))
+        alg, params = lib.select("scatter", eta, ppn)
+        intra = self._lib_intra("scatter", alg, params, ppn, eta)
+        return inter + intra
+
+    # -- helpers --------------------------------------------------------------------------
+
+    def _lib_intra(
+        self, collective: str, alg: str, params: dict, ppn: int, eta: int
+    ) -> float:
+        m = self.model
+        if alg == "fanout_rndv":
+            return m.scatter_fanout_rndv(ppn, eta)
+        if alg == "fanin_rndv":
+            return m.gather_fanin_rndv(ppn, eta)
+        if alg == "binomial_p2p":
+            shm = params.get("threshold", 0) > 1 << 40
+            if collective == "scatter":
+                return m.scatter_binomial_p2p(ppn, eta, shm)
+            return m.gather_binomial_p2p(ppn, eta, shm)
+        return m.predict(collective, alg, ppn, eta, **params)
+
+    # -- the Fig 17 sweep ---------------------------------------------------------------
+
+    def fig17_point(
+        self, nodes: int, ppn: int, eta: int, lib_name: str = "mvapich2"
+    ) -> dict[str, float]:
+        lib = library(lib_name)
+        flat = self.gather_single_level(nodes, ppn, eta, lib)
+        two = self.gather_two_level(nodes, ppn, eta)
+        piped = self.gather_two_level_pipelined(nodes, ppn, eta)
+        return {
+            "flat": flat,
+            "two_level": two,
+            "pipelined": piped,
+            "speedup": flat / two,
+        }

@@ -1,0 +1,254 @@
+"""Deterministic buffer patterns and MPI-semantics postconditions.
+
+Every timed run can also be a correctness check: send buffers are filled
+with a pattern that is a function of (source rank, destination block), and
+after the collective completes the runner asserts each receive buffer holds
+exactly the bytes MPI semantics dictate.  A collective that "wins" by not
+moving the right bytes fails loudly.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.communicator import Comm
+
+__all__ = ["pattern", "setup_buffers", "verify_buffers", "VerificationError"]
+
+
+class VerificationError(AssertionError):
+    """A collective produced bytes that violate MPI semantics."""
+
+
+def pattern(a: int, b: int, eta: int) -> np.ndarray:
+    """Deterministic eta-byte pattern keyed by two small integers."""
+    idx = np.arange(eta, dtype=np.uint32)
+    return ((idx * 31 + a * 7 + b * 13 + 5) % 251).astype(np.uint8)
+
+
+def setup_buffers(comm: "Comm", spec) -> tuple[list, list]:
+    """Allocate and fill (sendbufs, recvbufs) for ``spec``; entries may be
+    None where a rank does not use that buffer."""
+    p, eta, root = spec.procs, spec.eta, spec.root
+    coll = spec.collective
+    fill = comm.node.verify
+    sendbufs: list = [None] * p
+    recvbufs: list = [None] * p
+
+    if coll == "scatter":
+        sendbufs[root] = comm.allocate(root, p * eta, "sendbuf")
+        if fill:
+            for d in range(p):
+                sendbufs[root].view(d * eta, eta)[:] = pattern(root, d, eta)
+        for r in range(p):
+            if r == root and spec.in_place:
+                continue
+            recvbufs[r] = comm.allocate(r, eta, "recvbuf")
+    elif coll == "gather":
+        recvbufs[root] = comm.allocate(root, p * eta, "recvbuf")
+        for r in range(p):
+            if r == root and spec.in_place:
+                if fill:
+                    recvbufs[root].view(root * eta, eta)[:] = pattern(root, 0, eta)
+                continue
+            sendbufs[r] = comm.allocate(r, eta, "sendbuf")
+            if fill:
+                sendbufs[r].fill(pattern(r, 0, eta))
+    elif coll == "bcast":
+        for r in range(p):
+            recvbufs[r] = comm.allocate(r, eta, "buf")
+        if fill:
+            recvbufs[root].fill(pattern(root, 0, eta))
+    elif coll == "allgather":
+        for r in range(p):
+            recvbufs[r] = comm.allocate(r, p * eta, "recvbuf")
+            if spec.in_place:
+                if fill:
+                    recvbufs[r].view(r * eta, eta)[:] = pattern(r, 0, eta)
+            else:
+                sendbufs[r] = comm.allocate(r, eta, "sendbuf")
+                if fill:
+                    sendbufs[r].fill(pattern(r, 0, eta))
+    elif coll == "alltoall":
+        for r in range(p):
+            sendbufs[r] = comm.allocate(r, p * eta, "sendbuf")
+            recvbufs[r] = comm.allocate(r, p * eta, "recvbuf")
+            if fill:
+                for d in range(p):
+                    sendbufs[r].view(d * eta, eta)[:] = pattern(r, d, eta)
+    elif coll in ("scatterv", "gatherv"):
+        from repro.core.vcollectives import displacements
+
+        counts = spec.counts
+        displs = displacements(counts)
+        total = max(sum(counts), 1)
+        if coll == "scatterv":
+            sendbufs[root] = comm.allocate(root, total, "sendbuf")
+            if fill:
+                for d in range(p):
+                    if counts[d]:
+                        sendbufs[root].view(displs[d], counts[d])[:] = pattern(
+                            root, d, counts[d]
+                        )
+            for r in range(p):
+                if r == root and spec.in_place:
+                    continue
+                if counts[r]:
+                    recvbufs[r] = comm.allocate(r, counts[r], "recvbuf")
+        else:
+            recvbufs[root] = comm.allocate(root, total, "recvbuf")
+            for r in range(p):
+                if r == root and spec.in_place:
+                    if fill and counts[root]:
+                        recvbufs[root].view(displs[root], counts[root])[:] = (
+                            pattern(root, 0, counts[root])
+                        )
+                    continue
+                if counts[r]:
+                    sendbufs[r] = comm.allocate(r, counts[r], "sendbuf")
+                    if fill:
+                        sendbufs[r].fill(pattern(r, 0, counts[r]))
+    elif coll == "alltoallv":
+        from repro.core.vcollectives import displacements
+
+        counts = spec.counts
+        for r in range(p):
+            send_total = max(sum(counts[r]), 1)
+            recv_total = max(sum(counts[s][r] for s in range(p)), 1)
+            sendbufs[r] = comm.allocate(r, send_total, "sendbuf")
+            recvbufs[r] = comm.allocate(r, recv_total, "recvbuf")
+            if fill:
+                displs = displacements(counts[r])
+                for d in range(p):
+                    if counts[r][d]:
+                        sendbufs[r].view(displs[d], counts[r][d])[:] = pattern(
+                            r, d, counts[r][d]
+                        )
+    elif coll in ("reduce", "allreduce"):
+        for r in range(p):
+            if coll == "allreduce" or r == root:
+                recvbufs[r] = comm.allocate(r, eta, "recvbuf")
+            if coll == "reduce" and r == root and spec.in_place:
+                if fill:
+                    recvbufs[root].fill(pattern(root, 0, eta))
+                continue
+            sendbufs[r] = comm.allocate(r, eta, "sendbuf")
+            if fill:
+                sendbufs[r].fill(pattern(r, 0, eta))
+    else:
+        raise KeyError(f"unknown collective {coll!r}")
+    return sendbufs, recvbufs
+
+
+def verify_buffers(comm: "Comm", spec, sendbufs, recvbufs) -> None:
+    """Assert the MPI postcondition of ``spec`` over all receive buffers."""
+    p, eta, root = spec.procs, spec.eta, spec.root
+    coll = spec.collective
+
+    def expect(buf, off, pat, what):
+        got = buf.view(off, eta)
+        if not np.array_equal(got, pat):
+            bad = int(np.argmax(got != pat))
+            raise VerificationError(
+                f"{coll}/{spec.algorithm}: {what}: first mismatch at byte "
+                f"{bad} (got {got[bad]}, want {pat[bad]})"
+            )
+
+    if coll == "scatter":
+        for r in range(p):
+            if r == root and spec.in_place:
+                expect(
+                    sendbufs[root], root * eta, pattern(root, root, eta),
+                    "root in-place block clobbered",
+                )
+                continue
+            expect(recvbufs[r], 0, pattern(root, r, eta), f"rank {r} block")
+    elif coll == "gather":
+        for r in range(p):
+            expect(
+                recvbufs[root], r * eta, pattern(r, 0, eta),
+                f"root's block from rank {r}",
+            )
+    elif coll == "bcast":
+        pat = pattern(root, 0, eta)
+        for r in range(p):
+            expect(recvbufs[r], 0, pat, f"rank {r} payload")
+    elif coll == "allgather":
+        for r in range(p):
+            for b in range(p):
+                expect(
+                    recvbufs[r], b * eta, pattern(b, 0, eta),
+                    f"rank {r} block {b}",
+                )
+    elif coll == "alltoall":
+        for r in range(p):
+            for s in range(p):
+                expect(
+                    recvbufs[r], s * eta, pattern(s, r, eta),
+                    f"rank {r} block from {s}",
+                )
+    elif coll in ("scatterv", "gatherv"):
+        from repro.core.vcollectives import displacements
+
+        counts = spec.counts
+        displs = displacements(counts)
+
+        def expect_n(buf, off, pat, n, what):
+            got = buf.view(off, n)
+            if not np.array_equal(got, pat):
+                bad = int(np.argmax(got != pat))
+                raise VerificationError(f"{coll}: {what}: byte {bad} wrong")
+
+        if coll == "scatterv":
+            for r in range(p):
+                if counts[r] == 0:
+                    continue
+                if r == root and spec.in_place:
+                    expect_n(
+                        sendbufs[root], displs[root],
+                        pattern(root, root, counts[root]), counts[root],
+                        "root in-place block clobbered",
+                    )
+                    continue
+                expect_n(
+                    recvbufs[r], 0, pattern(root, r, counts[r]), counts[r],
+                    f"rank {r} block",
+                )
+        else:
+            for r in range(p):
+                if counts[r] == 0:
+                    continue
+                expect_n(
+                    recvbufs[root], displs[r], pattern(r, 0, counts[r]),
+                    counts[r], f"root's block from rank {r}",
+                )
+    elif coll == "alltoallv":
+        from repro.core.vcollectives import displacements
+
+        counts = spec.counts
+        for r in range(p):
+            recv_displs = displacements([counts[s][r] for s in range(p)])
+            for s_rank in range(p):
+                n = counts[s_rank][r]
+                if n == 0:
+                    continue
+                got = recvbufs[r].view(recv_displs[s_rank], n)
+                want = pattern(s_rank, r, n)
+                if not np.array_equal(got, want):
+                    bad = int(np.argmax(got != want))
+                    raise VerificationError(
+                        f"alltoallv: rank {r} block from {s_rank}: byte {bad}"
+                    )
+    elif coll in ("reduce", "allreduce"):
+        total = np.zeros(eta, dtype=np.uint16)
+        for r in range(p):
+            total += pattern(r, 0, eta)
+        reduced = (total % 256).astype(np.uint8)
+        targets = range(p) if coll == "allreduce" else [root]
+        for r in targets:
+            expect(recvbufs[r], 0, reduced, f"rank {r} reduction")
+    else:  # pragma: no cover - guarded in setup
+        raise KeyError(coll)

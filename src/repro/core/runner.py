@@ -1,0 +1,143 @@
+"""Execute one collective on a simulated node, verify it, time it.
+
+This is the experiment workhorse: every figure/table bench ultimately calls
+:func:`run_collective` with a :class:`CollectiveSpec` and reads latencies
+off the :class:`CollectiveResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.core import patterns
+from repro.core.registry import get_algorithm
+from repro.machine.arch import Architecture
+from repro.mpi.communicator import Comm, Node
+
+__all__ = ["CollectiveSpec", "CollectiveResult", "run_collective"]
+
+
+@dataclass
+class CollectiveSpec:
+    """One collective invocation to simulate.
+
+    ``eta`` is the per-block message size in bytes — the paper's x-axis
+    ("Message Size"): per receiver for Scatter/Gather, the full payload for
+    Bcast, per contributed block for Allgather/Alltoall.
+    """
+
+    collective: str
+    algorithm: str
+    arch: Architecture
+    procs: Optional[int] = None  # defaults to the arch's evaluation count
+    eta: int = 4096
+    root: int = 0
+    in_place: bool = False
+    params: dict = field(default_factory=dict)
+    verify: bool = True  # move + check real bytes (slower, thorough)
+    trace: bool = False  # record ftrace-style phase spans
+    #: per-rank block sizes for the V-variants (scatterv/gatherv);
+    #: defaults to eta for every rank
+    counts: Optional[list[int]] = None
+
+    def __post_init__(self) -> None:
+        if self.procs is None:
+            self.procs = self.arch.default_procs
+        if self.procs < 2:
+            raise ValueError("collectives need at least 2 processes")
+        if self.eta < 1:
+            raise ValueError("eta must be >= 1 byte")
+        if not (0 <= self.root < self.procs):
+            raise ValueError(f"root {self.root} out of range for p={self.procs}")
+        if self.collective in ("scatterv", "gatherv"):
+            if self.counts is None:
+                self.counts = [self.eta] * self.procs
+            if len(self.counts) != self.procs:
+                raise ValueError(
+                    f"counts has {len(self.counts)} entries for p={self.procs}"
+                )
+            if any(c < 0 for c in self.counts):
+                raise ValueError("counts must be non-negative")
+        elif self.collective == "alltoallv":
+            if self.counts is None:
+                self.counts = [[self.eta] * self.procs] * self.procs
+            if len(self.counts) != self.procs or any(
+                len(row) != self.procs for row in self.counts
+            ):
+                raise ValueError("alltoallv needs a p x p counts matrix")
+            if any(c < 0 for row in self.counts for c in row):
+                raise ValueError("counts must be non-negative")
+        elif self.counts is not None:
+            raise ValueError(f"{self.collective} does not take counts")
+
+
+@dataclass
+class CollectiveResult:
+    """Outcome of one simulated collective."""
+
+    spec: CollectiveSpec
+    latency_us: float  # completion time of the slowest rank
+    per_rank_us: list[float]
+    ctrl_messages: int  # control-plane traffic (RTS/CTS, tokens, ...)
+    cma_reads: int
+    cma_writes: int
+    sim_events: int
+    trace_by_phase: Optional[dict[str, float]] = None
+
+    @property
+    def mean_us(self) -> float:
+        return sum(self.per_rank_us) / len(self.per_rank_us)
+
+
+def run_collective(spec: CollectiveSpec) -> CollectiveResult:
+    """Build a fresh node, run ``spec`` on every rank, verify, and time it.
+
+    Raises :class:`~repro.core.patterns.VerificationError` if the bytes any
+    rank ends up with violate MPI semantics (only when ``spec.verify``).
+    """
+    info = get_algorithm(spec.collective, spec.algorithm)
+    err = info.check(spec.procs, spec.params)
+    if err:
+        raise ValueError(
+            f"{spec.collective}/{spec.algorithm} invalid for p={spec.procs}: {err}"
+        )
+    fn = info.make(**spec.params)
+
+    node = Node(spec.arch, verify=spec.verify, trace=spec.trace)
+    comm = Comm(node, spec.procs)
+    sendbufs, recvbufs = patterns.setup_buffers(comm, spec)
+
+    procs = []
+    extra_kw = {}
+    if spec.counts is not None:
+        extra_kw["counts"] = spec.counts
+    for rank in range(spec.procs):
+        procs.append(
+            comm.spawn_rank(
+                rank,
+                fn,
+                root=spec.root,
+                eta=spec.eta,
+                sendbuf=sendbufs[rank],
+                recvbuf=recvbufs[rank],
+                in_place=spec.in_place,
+                **extra_kw,
+            )
+        )
+    node.sim.run_all(procs)
+
+    if spec.verify:
+        patterns.verify_buffers(comm, spec, sendbufs, recvbufs)
+
+    per_rank = [p.finish_time for p in procs]
+    return CollectiveResult(
+        spec=spec,
+        latency_us=max(per_rank),
+        per_rank_us=per_rank,
+        ctrl_messages=comm.shm.ctrl_messages,
+        cma_reads=node.cma.reads,
+        cma_writes=node.cma.writes,
+        sim_events=node.sim.events_processed,
+        trace_by_phase=node.tracer.total_by_phase() if spec.trace else None,
+    )

@@ -1,0 +1,108 @@
+"""One-to-all personalized: MPI_Scatter (paper Section IV-A).
+
+Three algorithm families, all *native* CMA designs (addresses exchanged
+through shared-memory control collectives, then direct syscalls — no
+RTS/CTS per transfer):
+
+* ``parallel_read``   — every non-root reads its block concurrently from
+  the root's send buffer.  One step, but the full contention factor
+  gamma(p-1) on the root's mm lock.
+* ``sequential_write`` — the root writes each block in turn.  p-1 steps,
+  zero contention, root is never idle.
+* ``throttled_read(k)`` — the paper's contribution: at most ``k``
+  concurrent readers, chained with point-to-point tokens (no barriers):
+  reader ``i`` starts when reader ``i - k`` finishes, so there are
+  ceil((p-1)/k) waves with contention gamma(k).  ``parallel_read`` and
+  ``sequential_write`` are the k = p-1 and k = 1 special cases.
+
+Buffer contract: the root's ``sendbuf`` holds p blocks of ``eta`` bytes in
+rank order; every rank's ``recvbuf`` holds one block.  With ``in_place``
+the root keeps its block in ``sendbuf`` (no self-copy), matching
+MPI_IN_PLACE semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.core.common import nonroot_order
+from repro.mpi.communicator import RankCtx
+
+__all__ = ["parallel_read", "sequential_write", "throttled_read"]
+
+
+def _root_self_copy(ctx: RankCtx) -> Generator:
+    """Root moves its own block sendbuf[root] -> recvbuf (skipped in-place)."""
+    if not ctx.in_place:
+        yield from ctx.memcpy(
+            ctx.recvbuf, 0, ctx.sendbuf, ctx.root * ctx.eta, ctx.eta
+        )
+
+
+def parallel_read(ctx: RankCtx) -> Generator:
+    """All non-roots read concurrently: T = T_bcast^sm + a + nB + l*g(p)*n/s + T_gather^sm."""
+    op = ctx.next_op()
+    payload = ctx.sendbuf.addr if ctx.is_root else None
+    src_addr = yield from ctx.sm_bcast(("sc-pr", op), payload, root=ctx.root)
+    if ctx.is_root:
+        yield from _root_self_copy(ctx)
+    else:
+        yield from ctx.cma_read(
+            ctx.root,
+            ctx.recvbuf.iov(0, ctx.eta),
+            (src_addr + ctx.rank * ctx.eta, ctx.eta),
+        )
+    # completion: root learns every block has been read (sendbuf reusable)
+    yield from ctx.sm_gather(("sc-pr-fin", op), value=True, root=ctx.root)
+
+
+def sequential_write(ctx: RankCtx) -> Generator:
+    """Root writes one block at a time: p-1 uncontended transfers."""
+    op = ctx.next_op()
+    value = None if ctx.is_root else ctx.recvbuf.addr
+    addrs = yield from ctx.sm_gather(("sc-sw", op), value, root=ctx.root)
+    if ctx.is_root:
+        for dst in nonroot_order(ctx.size, ctx.root):
+            yield from ctx.cma_write(
+                dst,
+                ctx.sendbuf.iov(dst * ctx.eta, ctx.eta),
+                (addrs[dst], ctx.eta),
+            )
+        yield from _root_self_copy(ctx)
+    # completion: non-roots learn their block has landed
+    yield from ctx.sm_bcast(("sc-sw-fin", op), True, root=ctx.root)
+
+
+def throttled_read(ctx: RankCtx, k: int) -> Generator:
+    """At most ``k`` concurrent readers, chained by pt2pt tokens.
+
+    Non-root reader at chain position ``i`` blocks on a token from position
+    ``i - k`` (positions < k start immediately), reads its block, then
+    unblocks position ``i + k``.  The root posts ``min(k, p-1)`` receives
+    from the readers of the last wave — a single ack from the last reader
+    would not cover its k-1 concurrent peers (Section IV-A3).
+    """
+    if k < 1:
+        raise ValueError("throttle factor must be >= 1")
+    op = ctx.next_op()
+    payload = ctx.sendbuf.addr if ctx.is_root else None
+    src_addr = yield from ctx.sm_bcast(("sc-tr", op), payload, root=ctx.root)
+    order = nonroot_order(ctx.size, ctx.root)
+    nread = len(order)
+    if ctx.is_root:
+        yield from _root_self_copy(ctx)
+        for pos in range(max(0, nread - k), nread):
+            yield ctx.ctrl_recv(order[pos], ("sc-tr-fin", op))
+    else:
+        pos = order.index(ctx.rank)
+        if pos - k >= 0:
+            yield ctx.ctrl_recv(order[pos - k], ("sc-tr-tok", op))
+        yield from ctx.cma_read(
+            ctx.root,
+            ctx.recvbuf.iov(0, ctx.eta),
+            (src_addr + ctx.rank * ctx.eta, ctx.eta),
+        )
+        if pos + k < nread:
+            yield ctx.ctrl_send(order[pos + k], ("sc-tr-tok", op))
+        if pos >= nread - k:
+            yield ctx.ctrl_send(ctx.root, ("sc-tr-fin", op))

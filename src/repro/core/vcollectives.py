@@ -1,0 +1,247 @@
+"""Extension: vector collectives (MPI_Scatterv / MPI_Gatherv).
+
+The contention analysis is oblivious to whether blocks are equal-sized, so
+the throttled designs carry over to the V-variants directly — with one new
+wrinkle the equal-block algorithms never face: *load imbalance*.  A wave of
+k concurrent readers finishes when its largest block does, so the chain
+token order matters; these implementations keep the paper's simple
+position-based chaining and the imbalance shows up (measurably, see the
+tests) as wave straggling.
+
+Buffer contract (mirrors MPI):
+
+* ``counts`` — one entry per rank, the block size in bytes; available at
+  every rank (the common usage pattern).  Displacements are the prefix
+  sums (dense packing).
+* Scatterv: root's ``sendbuf`` holds ``sum(counts)`` bytes; rank r's
+  ``recvbuf`` holds ``counts[r]``.
+* Gatherv: mirrored.
+
+Zero-length blocks are legal: those ranks only participate in the
+control plane.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Sequence
+
+from repro.core.common import nonroot_order
+from repro.mpi.communicator import RankCtx
+
+__all__ = [
+    "displacements",
+    "scatterv_parallel_read",
+    "scatterv_sequential_write",
+    "scatterv_throttled_read",
+    "gatherv_parallel_write",
+    "gatherv_sequential_read",
+    "gatherv_throttled_write",
+    "alltoallv_pairwise",
+]
+
+
+def displacements(counts: Sequence[int]) -> list[int]:
+    """Dense prefix-sum displacements for a counts vector."""
+    out, pos = [], 0
+    for c in counts:
+        if c < 0:
+            raise ValueError(f"negative count {c}")
+        out.append(pos)
+        pos += c
+    return out
+
+
+def _counts(ctx: RankCtx) -> tuple[list[int], list[int]]:
+    counts = list(ctx.extras["counts"])
+    if len(counts) != ctx.size:
+        raise ValueError(
+            f"counts has {len(counts)} entries for {ctx.size} ranks"
+        )
+    return counts, displacements(counts)
+
+
+def _root_self_copy_scatterv(ctx, counts, displs) -> Generator:
+    n = counts[ctx.root]
+    if not ctx.in_place and n > 0:
+        yield from ctx.memcpy(ctx.recvbuf, 0, ctx.sendbuf, displs[ctx.root], n)
+
+
+def scatterv_parallel_read(ctx: RankCtx) -> Generator:
+    """Every non-root with a non-empty block reads it concurrently."""
+    counts, displs = _counts(ctx)
+    op = ctx.next_op()
+    payload = ctx.sendbuf.addr if ctx.is_root else None
+    src_addr = yield from ctx.sm_bcast(("scv-pr", op), payload, root=ctx.root)
+    if ctx.is_root:
+        yield from _root_self_copy_scatterv(ctx, counts, displs)
+    else:
+        n = counts[ctx.rank]
+        if n > 0:
+            yield from ctx.cma_read(
+                ctx.root, ctx.recvbuf.iov(0, n), (src_addr + displs[ctx.rank], n)
+            )
+    yield from ctx.sm_gather(("scv-pr-fin", op), value=True, root=ctx.root)
+
+
+def scatterv_sequential_write(ctx: RankCtx) -> Generator:
+    """Root writes each (non-empty) block in turn."""
+    counts, displs = _counts(ctx)
+    op = ctx.next_op()
+    value = None
+    if not ctx.is_root and ctx.recvbuf is not None:
+        value = ctx.recvbuf.addr
+    addrs = yield from ctx.sm_gather(("scv-sw", op), value, root=ctx.root)
+    if ctx.is_root:
+        for dst in nonroot_order(ctx.size, ctx.root):
+            n = counts[dst]
+            if n == 0:
+                continue
+            yield from ctx.cma_write(
+                dst, ctx.sendbuf.iov(displs[dst], n), (addrs[dst], n)
+            )
+        yield from _root_self_copy_scatterv(ctx, counts, displs)
+    yield from ctx.sm_bcast(("scv-sw-fin", op), True, root=ctx.root)
+
+
+def scatterv_throttled_read(ctx: RankCtx, k: int) -> Generator:
+    """At most k concurrent readers, chained by position like Scatter."""
+    if k < 1:
+        raise ValueError("throttle factor must be >= 1")
+    counts, displs = _counts(ctx)
+    op = ctx.next_op()
+    payload = ctx.sendbuf.addr if ctx.is_root else None
+    src_addr = yield from ctx.sm_bcast(("scv-tr", op), payload, root=ctx.root)
+    order = nonroot_order(ctx.size, ctx.root)
+    nread = len(order)
+    if ctx.is_root:
+        yield from _root_self_copy_scatterv(ctx, counts, displs)
+        for pos in range(max(0, nread - k), nread):
+            yield ctx.ctrl_recv(order[pos], ("scv-tr-fin", op))
+    else:
+        pos = order.index(ctx.rank)
+        if pos - k >= 0:
+            yield ctx.ctrl_recv(order[pos - k], ("scv-tr-tok", op))
+        n = counts[ctx.rank]
+        if n > 0:
+            yield from ctx.cma_read(
+                ctx.root, ctx.recvbuf.iov(0, n), (src_addr + displs[ctx.rank], n)
+            )
+        if pos + k < nread:
+            yield ctx.ctrl_send(order[pos + k], ("scv-tr-tok", op))
+        if pos >= nread - k:
+            yield ctx.ctrl_send(ctx.root, ("scv-tr-fin", op))
+
+
+def alltoallv_pairwise(ctx: RankCtx) -> Generator:
+    """MPI_Alltoallv over the contention-free pairwise schedule.
+
+    ``ctx.extras["counts"]`` is the full p x p matrix: ``counts[s][d]`` is
+    the bytes rank s sends to rank d.  Rank r's sendbuf packs its row
+    densely (displacements of ``counts[r]``); its recvbuf packs the column
+    ``counts[:][r]``.  Like the equal-block pairwise exchange, each step
+    pairs every rank with a distinct peer, so the mm locks never contend —
+    but skewed rows make steps straggle, the V-variant's signature cost.
+    """
+    counts = ctx.extras["counts"]
+    if len(counts) != ctx.size or any(len(row) != ctx.size for row in counts):
+        raise ValueError("alltoallv needs a p x p counts matrix")
+    p, rank = ctx.size, ctx.rank
+    send_displs = displacements(counts[rank])
+    recv_displs = displacements([counts[s][rank] for s in range(p)])
+    op = ctx.next_op()
+    addr = ctx.sendbuf.addr if ctx.sendbuf is not None else None
+    addrs = yield from ctx.sm_allgather(("a2av", op), addr)
+    # own block
+    n_self = counts[rank][rank]
+    if n_self > 0:
+        yield from ctx.memcpy(
+            ctx.recvbuf, recv_displs[rank], ctx.sendbuf, send_displs[rank], n_self
+        )
+    from repro.core.common import is_power_of_two
+
+    pow2 = is_power_of_two(p)
+    for step in range(1, p):
+        peer = rank ^ step if pow2 else (rank - step) % p
+        n = counts[peer][rank]
+        if n == 0:
+            continue
+        # my block inside peer's sendbuf starts at peer's send displacement
+        peer_off = displacements(counts[peer])[rank]
+        yield from ctx.cma_read(
+            peer,
+            ctx.recvbuf.iov(recv_displs[peer], n),
+            (addrs[peer] + peer_off, n),
+        )
+    yield from ctx.sm_barrier(("a2av-fin", op))
+
+
+def _root_self_copy_gatherv(ctx, counts, displs) -> Generator:
+    n = counts[ctx.root]
+    if not ctx.in_place and n > 0:
+        yield from ctx.memcpy(ctx.recvbuf, displs[ctx.root], ctx.sendbuf, 0, n)
+
+
+def gatherv_parallel_write(ctx: RankCtx) -> Generator:
+    """Every non-root writes its block into the root concurrently."""
+    counts, displs = _counts(ctx)
+    op = ctx.next_op()
+    payload = ctx.recvbuf.addr if ctx.is_root else None
+    dst_addr = yield from ctx.sm_bcast(("gav-pw", op), payload, root=ctx.root)
+    if ctx.is_root:
+        yield from _root_self_copy_gatherv(ctx, counts, displs)
+    else:
+        n = counts[ctx.rank]
+        if n > 0:
+            yield from ctx.cma_write(
+                ctx.root, ctx.sendbuf.iov(0, n), (dst_addr + displs[ctx.rank], n)
+            )
+    yield from ctx.sm_gather(("gav-pw-fin", op), value=True, root=ctx.root)
+
+
+def gatherv_sequential_read(ctx: RankCtx) -> Generator:
+    """Root reads each (non-empty) block in turn."""
+    counts, displs = _counts(ctx)
+    op = ctx.next_op()
+    value = None
+    if not ctx.is_root and ctx.sendbuf is not None:
+        value = ctx.sendbuf.addr
+    addrs = yield from ctx.sm_gather(("gav-sr", op), value, root=ctx.root)
+    if ctx.is_root:
+        for src in nonroot_order(ctx.size, ctx.root):
+            n = counts[src]
+            if n == 0:
+                continue
+            yield from ctx.cma_read(
+                src, ctx.recvbuf.iov(displs[src], n), (addrs[src], n)
+            )
+        yield from _root_self_copy_gatherv(ctx, counts, displs)
+    yield from ctx.sm_bcast(("gav-sr-fin", op), True, root=ctx.root)
+
+
+def gatherv_throttled_write(ctx: RankCtx, k: int) -> Generator:
+    """At most k concurrent writers into the root's displaced blocks."""
+    if k < 1:
+        raise ValueError("throttle factor must be >= 1")
+    counts, displs = _counts(ctx)
+    op = ctx.next_op()
+    payload = ctx.recvbuf.addr if ctx.is_root else None
+    dst_addr = yield from ctx.sm_bcast(("gav-tw", op), payload, root=ctx.root)
+    order = nonroot_order(ctx.size, ctx.root)
+    nwrite = len(order)
+    if ctx.is_root:
+        yield from _root_self_copy_gatherv(ctx, counts, displs)
+        for pos in range(max(0, nwrite - k), nwrite):
+            yield ctx.ctrl_recv(order[pos], ("gav-tw-fin", op))
+    else:
+        pos = order.index(ctx.rank)
+        if pos - k >= 0:
+            yield ctx.ctrl_recv(order[pos - k], ("gav-tw-tok", op))
+        n = counts[ctx.rank]
+        if n > 0:
+            yield from ctx.cma_write(
+                ctx.root, ctx.sendbuf.iov(0, n), (dst_addr + displs[ctx.rank], n)
+            )
+        if pos + k < nwrite:
+            yield ctx.ctrl_send(order[pos + k], ("gav-tw-tok", op))
+        if pos >= nwrite - k:
+            yield ctx.ctrl_send(ctx.root, ("gav-tw-fin", op))

@@ -1,0 +1,225 @@
+"""Cross Memory Attach: ``process_vm_readv`` / ``process_vm_writev``.
+
+The simulated syscalls follow the real kernel's ``process_vm_rw`` path:
+
+1. **syscall entry** — fixed cost, charged always (Table III row 1);
+2. **permission / access check** on the remote pid — charged whenever a
+   remote iovec is present (Table III row 2);
+3. **lock + pin** — per batch of remote pages, via the remote process's
+   :class:`~repro.kernel.pagelock.MMLock` (Table III row 3).  This is where
+   contention lives;
+4. **copy** — bytes actually moved, ``min(local_total, remote_total)``
+   (Table III row 4).  Real numpy bytes move unless the kernel was built
+   with ``verify=False`` (timing-only mode for big sweeps).
+
+Setting ``liovcnt = 0`` pins the remote pages but copies nothing, and a
+zero-length remote iovec skips pinning — exactly the partial-step trigger
+trick the paper uses to isolate T1..T4 (Table III); ``step_timings`` in
+:mod:`repro.core.fitting` drives it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional, Sequence
+
+from repro.kernel.address_space import AddressSpaceManager
+from repro.kernel.errors import CMAError, EINVAL, EPERM
+from repro.kernel.pagelock import MMLock
+from repro.sim.engine import Delay
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.params import ModelParams
+    from repro.sim.engine import SimProcess, Simulator
+    from repro.sim.trace import Tracer
+
+__all__ = ["CMAKernel", "iovec_total", "IOV_MAX"]
+
+#: Linux UIO_MAXIOV
+IOV_MAX = 1024
+
+Iovec = Sequence[tuple[int, int]]
+
+
+def iovec_total(iov: Iovec) -> int:
+    """Sum of iovec lengths (validates non-negative lengths)."""
+    total = 0
+    for _, ln in iov:
+        if ln < 0:
+            raise CMAError(EINVAL, f"negative iovec length {ln}")
+        total += ln
+    return total
+
+
+class CMAKernel:
+    """Node-wide CMA engine: one mm lock per process, shared tracer."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        manager: AddressSpaceManager,
+        params: "ModelParams",
+        tracer: "Tracer",
+        verify: bool = True,
+    ):
+        self.sim = sim
+        self.manager = manager
+        self.params = params
+        self.tracer = tracer
+        self.verify = verify
+        self._mm_locks: dict[int, MMLock] = {}
+        self._sockets: dict[int, int] = {}
+        #: pids the permission check rejects (tests ptrace-style denial)
+        self.denied_pids: set[int] = set()
+        self.reads = 0
+        self.writes = 0
+
+    def register(self, pid: int, socket: int = 0) -> None:
+        """Create the address space + mm lock for a new process.
+
+        ``socket`` is where the process is pinned: copies that cross
+        sockets pay the ``inter_socket_beta`` bandwidth penalty.
+        """
+        self.manager.create(pid)
+        self._mm_locks[pid] = MMLock(self.sim, pid, self.params, self.tracer)
+        self._sockets[pid] = socket
+
+    def copy_beta(self, caller: "SimProcess", pid: int) -> float:
+        """Per-byte copy time between ``caller`` and process ``pid``."""
+        beta = self.params.beta
+        if self._sockets.get(pid, 0) != caller.socket:
+            beta *= self.params.inter_socket_beta
+        return beta
+
+    def mm_lock(self, pid: int) -> MMLock:
+        self.manager.get(pid)  # ESRCH if unknown
+        return self._mm_locks[pid]
+
+    # -- the syscalls ---------------------------------------------------------
+
+    def process_vm_readv(
+        self,
+        caller: "SimProcess",
+        pid: int,
+        local_iov: Iovec,
+        remote_iov: Iovec,
+        flags: int = 0,
+    ) -> Generator:
+        """Read from ``pid``'s memory into the caller's.  Returns bytes copied."""
+        return self._process_vm_rw(
+            caller, pid, local_iov, remote_iov, flags, write=False
+        )
+
+    def process_vm_writev(
+        self,
+        caller: "SimProcess",
+        pid: int,
+        local_iov: Iovec,
+        remote_iov: Iovec,
+        flags: int = 0,
+    ) -> Generator:
+        """Write the caller's memory into ``pid``'s.  Returns bytes copied."""
+        return self._process_vm_rw(
+            caller, pid, local_iov, remote_iov, flags, write=True
+        )
+
+    def _process_vm_rw(
+        self,
+        caller: "SimProcess",
+        pid: int,
+        local_iov: Iovec,
+        remote_iov: Iovec,
+        flags: int,
+        write: bool,
+    ) -> Generator:
+        p = self.params
+        tracer = self.tracer
+
+        # --- validation (before any cost, like the real syscall) ---
+        if flags != 0:
+            raise CMAError(EINVAL, "flags must be 0")
+        if len(local_iov) > IOV_MAX or len(remote_iov) > IOV_MAX:
+            raise CMAError(EINVAL, "iovcnt exceeds IOV_MAX")
+        local_total = iovec_total(local_iov)
+        remote_total = iovec_total(remote_iov)
+
+        # --- 1. syscall entry ---
+        t0 = self.sim.now
+        yield Delay(p.alpha_syscall)
+        if tracer.enabled:
+            tracer.record(caller.name, "syscall", t0, self.sim.now)
+
+        if not remote_iov:
+            return 0
+
+        # --- 2. permission / access check on the remote task ---
+        t1 = self.sim.now
+        remote_space = self.manager.get(pid)  # raises ESRCH
+        if pid in self.denied_pids:
+            raise CMAError(EPERM, f"ptrace access to pid {pid} denied")
+        yield Delay(p.alpha_check)
+        if tracer.enabled:
+            tracer.record(caller.name, "check", t1, self.sim.now)
+
+        if remote_total == 0:
+            return 0
+
+        # --- 3+4. pin a batch, copy it, pin the next ... ---
+        # The real process_vm_rw pins at most PVM_MAX_PP_ARRAY_COUNT pages
+        # per get_user_pages call and copies them before pinning the next
+        # batch, so the mm lock is released (and re-fought) throughout the
+        # transfer.  Copy bytes are apportioned to batches pro rata.
+        npages = remote_space.total_pages(remote_iov)
+        ncopy = min(local_total, remote_total)
+        beta = self.copy_beta(caller, pid)
+        mm = self.mm_lock(pid)
+        done_pages = 0
+        done_bytes = 0
+        while done_pages < npages:
+            b = min(self.params.pin_batch, npages - done_pages)
+            yield from mm.lock_and_pin(caller, b)
+            done_pages += b
+            batch_bytes = ncopy * done_pages // npages - done_bytes
+            if batch_bytes > 0:
+                t3 = self.sim.now
+                yield Delay(batch_bytes * beta)
+                if tracer.enabled:
+                    tracer.record(
+                        caller.name, "copy", t3, self.sim.now, meta=batch_bytes
+                    )
+                done_bytes += batch_bytes
+
+        if ncopy > 0 and self.verify:
+            caller_space = self.manager.get(caller.pid)
+            if write:
+                data = caller_space.gather_bytes(local_iov)
+                remote_space.scatter_bytes(remote_iov, data[:ncopy])
+            else:
+                data = remote_space.gather_bytes(remote_iov)
+                caller_space.scatter_bytes(local_iov, data[:ncopy])
+        if write:
+            self.writes += 1
+        else:
+            self.reads += 1
+        return ncopy
+
+    # -- convenience ----------------------------------------------------------
+
+    def read_simple(
+        self,
+        caller: "SimProcess",
+        pid: int,
+        local: tuple[int, int],
+        remote: tuple[int, int],
+    ) -> Generator:
+        """Single-iovec read: the common case in collectives."""
+        return self.process_vm_readv(caller, pid, [local], [remote])
+
+    def write_simple(
+        self,
+        caller: "SimProcess",
+        pid: int,
+        local: tuple[int, int],
+        remote: tuple[int, int],
+    ) -> Generator:
+        """Single-iovec write."""
+        return self.process_vm_writev(caller, pid, [local], [remote])

@@ -1,0 +1,34 @@
+"""Machine models: node topology and calibrated cost parameters.
+
+One :class:`~repro.machine.arch.Architecture` bundles a socket/core/thread
+topology with the Table-IV cost parameters (``alpha``, ``beta``, ``l``,
+page size) plus the lock-bounce coefficients that make contention emerge in
+the simulated kernel.  Presets exist for the paper's three evaluation
+platforms (Table V): Intel Xeon Broadwell, Intel Xeon Phi Knights Landing,
+and IBM POWER8.
+"""
+
+from repro.machine.topology import Topology, Placement
+from repro.machine.params import ModelParams
+from repro.machine.arch import (
+    Architecture,
+    make_knl,
+    make_broadwell,
+    make_power8,
+    make_generic,
+    get_arch,
+    ARCH_NAMES,
+)
+
+__all__ = [
+    "Topology",
+    "Placement",
+    "ModelParams",
+    "Architecture",
+    "make_knl",
+    "make_broadwell",
+    "make_power8",
+    "make_generic",
+    "get_arch",
+    "ARCH_NAMES",
+]

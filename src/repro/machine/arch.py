@@ -1,0 +1,218 @@
+"""Architecture presets for the paper's three evaluation platforms (Table V).
+
+=============  =======================  =====================  ====================
+Spec           Xeon (Broadwell)         Xeon Phi (KNL 7250)    OpenPOWER (POWER8)
+=============  =======================  =====================  ====================
+Sockets        2                        1                      2
+Cores/socket   14                       68                     10
+Threads/core   2                        4                      8
+Page size      4 KiB                    4 KiB                  64 KiB
+Default procs  28                       64                     160
+=============  =======================  =====================  ====================
+
+Cost constants come from Table IV (alpha, beta, l, s); the gamma polynomial
+coefficients and the mechanistic kappa bounce terms are calibrated so the
+simulator reproduces Table IV / Fig. 5 shapes: KNL contends hardest (slow
+cores, one big mesh), Broadwell mildest (few fast cores), POWER8 in between
+with far fewer pages to lock (64 KiB pages) but a sharp inter-socket bump.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.machine.params import ModelParams
+from repro.machine.topology import Topology
+
+__all__ = [
+    "Architecture",
+    "make_knl",
+    "make_broadwell",
+    "make_power8",
+    "make_generic",
+    "get_arch",
+    "ARCH_NAMES",
+]
+
+
+@dataclass
+class Architecture:
+    """A named machine: topology + cost parameters + evaluation defaults."""
+
+    name: str
+    topology: Topology
+    params: ModelParams
+    default_procs: int
+    #: throttle factors the paper sweeps on this machine (Figs 7/8)
+    throttle_candidates: tuple[int, ...] = (2, 4, 8, 16)
+    #: largest message the paper evaluates on this machine
+    max_msg: int = 4 << 20
+
+    def placement(self, rank: int):
+        return self.topology.place(rank)
+
+    def __post_init__(self) -> None:
+        if self.default_procs < 2:
+            raise ValueError("need at least 2 processes")
+
+
+def make_knl() -> Architecture:
+    """Intel Xeon Phi 7250 'Knights Landing': 68 slow cores, one socket."""
+    params = ModelParams(
+        alpha_syscall=0.95,
+        alpha_check=0.48,  # alpha = 1.43 us (Table IV)
+        beta_gbps=3.29,
+        l_page=0.25,
+        page_size=4096,
+        pin_batch=16,
+        # single socket: inter == intra; strong bouncing on the mesh
+        # (kappa is the per-acquisition line-migration cost in units of
+        # l_page per contender; ~0.115 per page x 16-page batches)
+        kappa_intra=1.85,
+        kappa_inter=1.85,
+        gamma_g1=1.6,
+        gamma_g2=0.10,
+        gamma_spill=0.0,
+        spill_point=10 ** 9,
+        t_ctrl=0.55,  # slow cores make software overheads larger
+        shm_gbps=2.6,
+        shm_cache_bytes=256 << 10,  # small shared L2 slices on the mesh
+        memcpy_gbps=5.0,
+    )
+    return Architecture(
+        name="knl",
+        topology=Topology(sockets=1, cores_per_socket=68, threads_per_core=4),
+        params=params,
+        default_procs=64,
+        throttle_candidates=(2, 4, 8, 16),
+        max_msg=16 << 20,
+    )
+
+
+def make_broadwell() -> Architecture:
+    """Intel Xeon E5-2680 v4 'Broadwell': 2 x 14 fast cores.
+
+    High clock + lower DDR bandwidth shrink the relative cost of lock
+    contention (paper: only ~2x spread across reader counts, Fig. 6(b)).
+    """
+    params = ModelParams(
+        alpha_syscall=0.68,
+        alpha_check=0.30,  # alpha = 0.98 us
+        beta_gbps=3.12,
+        l_page=0.10,
+        page_size=4096,
+        pin_batch=16,
+        kappa_intra=0.55,
+        kappa_inter=2.00,
+        inter_socket_beta=1.35,
+        gamma_g1=0.8,
+        gamma_g2=0.04,
+        gamma_spill=0.045,
+        spill_point=14,  # one socket's worth of cores
+        t_ctrl=0.30,
+        shm_gbps=3.4,
+        shm_cache_bytes=2 << 20,  # big shared LLC: shm Bcast wins < ~2 MB
+        shm_large_factor=3.5,
+        memcpy_gbps=7.0,
+    )
+    return Architecture(
+        name="broadwell",
+        topology=Topology(sockets=2, cores_per_socket=14, threads_per_core=2),
+        params=params,
+        default_procs=28,
+        throttle_candidates=(2, 4, 7, 14),
+        max_msg=16 << 20,
+    )
+
+
+def make_power8() -> Architecture:
+    """IBM POWER8: 2 x 10 cores, SMT-8, 64 KiB pages, huge bandwidth.
+
+    The big pages mean 16x fewer locks per byte, and the big system
+    bandwidth favours *more* concurrency (the paper's best throttle factor
+    is ~10, i.e. one socket's worth of cores, Fig. 7(c)).
+    """
+    params = ModelParams(
+        alpha_syscall=0.50,
+        alpha_check=0.25,  # alpha = 0.75 us
+        beta_gbps=3.70,
+        l_page=0.53,
+        page_size=65536,
+        pin_batch=4,  # a batch covers the same bytes as 64 x86 pages
+        kappa_intra=0.10,
+        kappa_inter=4.50,  # X-bus cacheline migration is expensive
+        inter_socket_beta=1.40,
+        gamma_g1=1.0,
+        gamma_g2=0.02,
+        gamma_spill=1.200,
+        spill_point=10,
+        t_ctrl=0.40,
+        shm_gbps=1.2,  # single SMT thread drives the two-copy path
+        shm_cache_bytes=32 << 10,  # CMA k-nomial already wins >= 32 KiB
+        shm_large_factor=3.0,
+        memcpy_gbps=9.0,
+    )
+    return Architecture(
+        name="power8",
+        topology=Topology(sockets=2, cores_per_socket=10, threads_per_core=8),
+        params=params,
+        default_procs=160,
+        throttle_candidates=(2, 4, 10, 20),
+        max_msg=2 << 20,
+    )
+
+
+def make_generic(
+    sockets: int = 1,
+    cores_per_socket: int = 8,
+    threads_per_core: int = 1,
+    default_procs: int | None = None,
+    **param_overrides,
+) -> Architecture:
+    """A small configurable machine for tests and quick experiments."""
+    base = dict(
+        alpha_syscall=0.7,
+        alpha_check=0.3,
+        beta_gbps=3.0,
+        l_page=0.2,
+        page_size=4096,
+        pin_batch=16,
+        kappa_intra=0.80,
+        kappa_inter=2.40,
+        inter_socket_beta=1.3 if sockets > 1 else 1.0,
+        gamma_g1=1.0,
+        gamma_g2=0.05,
+        gamma_spill=0.05 if sockets > 1 else 0.0,
+        spill_point=cores_per_socket if sockets > 1 else 10 ** 9,
+    )
+    base.update(param_overrides)
+    topo = Topology(sockets, cores_per_socket, threads_per_core)
+    procs = default_procs if default_procs is not None else topo.physical_cores
+    return Architecture(
+        name="generic",
+        topology=topo,
+        params=ModelParams(**base),
+        default_procs=procs,
+        throttle_candidates=(2, 4, 8),
+        max_msg=4 << 20,
+    )
+
+
+_FACTORIES = {
+    "knl": make_knl,
+    "broadwell": make_broadwell,
+    "power8": make_power8,
+    "generic": make_generic,
+}
+
+ARCH_NAMES = ("knl", "broadwell", "power8")
+
+
+def get_arch(name: str) -> Architecture:
+    """Look up an architecture preset by name (fresh instance every call)."""
+    try:
+        return _FACTORIES[name.lower()]()
+    except KeyError:
+        raise KeyError(
+            f"unknown architecture {name!r}; known: {sorted(_FACTORIES)}"
+        ) from None

@@ -1,0 +1,91 @@
+"""Node topology: sockets, cores, hardware threads, and rank placement.
+
+The collective designs in the paper are socket-aware in two places:
+
+* the mm-lock bounce is worse when contenders span sockets (Fig. 5(b)/(c)
+  show a jump past one socket's worth of readers on Broadwell and POWER8);
+* ring Allgather variants differ by whether neighbours are intra- or
+  inter-socket (Fig. 10(b): Ring-Neighbor-1 vs Ring-Neighbor-5).
+
+Placement follows the common MPI default of *block* mapping: ranks fill
+socket 0's hardware threads core-first, then socket 1, wrapping if the job
+oversubscribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Topology", "Placement"]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Where a rank landed: hardware coordinates."""
+
+    socket: int
+    core: int  # global core index
+    thread: int  # hardware thread within the core
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Sockets x cores x SMT threads of one node."""
+
+    sockets: int
+    cores_per_socket: int
+    threads_per_core: int = 1
+
+    def __post_init__(self) -> None:
+        if self.sockets < 1 or self.cores_per_socket < 1 or self.threads_per_core < 1:
+            raise ValueError("topology dimensions must be >= 1")
+
+    @property
+    def physical_cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def hw_threads(self) -> int:
+        return self.physical_cores * self.threads_per_core
+
+    @property
+    def threads_per_socket(self) -> int:
+        return self.cores_per_socket * self.threads_per_core
+
+    def place(self, rank: int) -> Placement:
+        """Place ``rank`` onto hardware threads, one SMT level at a time.
+
+        Physical cores fill first (socket 0's cores, then socket 1's), and
+        only then does the second SMT thread of each core get used.  This
+        matches the paper's observed socket-spill points: on Broadwell
+        (2 x 14 cores) contention jumps past 14 concurrent readers, on
+        POWER8 (2 x 10 cores) past 10 — i.e. exactly when ranks start
+        landing on the second socket.  Oversubscription wraps around.
+        """
+        if rank < 0:
+            raise ValueError("rank must be non-negative")
+        slot = rank % self.hw_threads
+        level = slot // self.physical_cores  # SMT level being filled
+        idx = slot % self.physical_cores  # physical core index, socket-major
+        socket = idx // self.cores_per_socket
+        return Placement(socket=socket, core=idx, thread=level)
+
+    def socket_of(self, rank: int) -> int:
+        return self.place(rank).socket
+
+    def same_socket(self, a: int, b: int) -> bool:
+        return self.socket_of(a) == self.socket_of(b)
+
+    def ranks_on_socket(self, socket: int, nranks: int) -> list[int]:
+        """Which of ranks [0, nranks) land on ``socket``."""
+        return [r for r in range(nranks) if self.socket_of(r) == socket]
+
+    def intra_socket_fraction(self, pairs: list[tuple[int, int]]) -> float:
+        """Fraction of (src, dst) pairs that stay within one socket.
+
+        Used by tests to check the Ring-Neighbor-j socket-awareness claims.
+        """
+        if not pairs:
+            return 1.0
+        intra = sum(1 for a, b in pairs if self.same_socket(a, b))
+        return intra / len(pairs)

@@ -1,0 +1,260 @@
+"""Node and communicator: the runtime the collective algorithms execute on.
+
+A :class:`Node` is one simulated machine.  A :class:`Comm` pins ``p`` ranks
+onto it, creates their address spaces, and — exactly like the paper's
+design — exchanges the local-rank-to-PID mapping once at initialisation so
+CMA calls can be issued without per-operation PID discovery.
+
+Per-rank state during a collective lives in a :class:`RankCtx`, which is
+what algorithm generators receive: rank ids, buffers, the CMA kernel, the
+shm transport, and a per-rank collective sequence number (all ranks call
+collectives in the same order, so equal counters identify one operation).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Generator, Optional
+
+import numpy as np
+
+from repro.kernel import AddressSpaceManager, Buffer, CMAKernel
+from repro.machine.arch import Architecture
+from repro.shm import ShmTransport
+from repro.shm import collectives as smc
+from repro.sim import Simulator, Tracer
+from repro.sim.engine import SimProcess
+
+__all__ = ["Node", "Comm", "RankCtx"]
+
+
+class Node:
+    """One simulated machine: engine + kernel + transports.
+
+    Pass an existing ``sim`` to place several nodes on one shared clock
+    (the multi-node cluster does this); by default each node gets its own.
+    """
+
+    def __init__(
+        self,
+        arch: Architecture,
+        verify: bool = True,
+        trace: bool = False,
+        sim: Optional[Simulator] = None,
+    ):
+        self.arch = arch
+        self.verify = verify
+        self.sim = sim if sim is not None else Simulator()
+        self.tracer = Tracer(enabled=trace)
+        self.manager = AddressSpaceManager(arch.params.page_size)
+        self.cma = CMAKernel(
+            self.sim, self.manager, arch.params, self.tracer, verify=verify
+        )
+
+    @property
+    def params(self):
+        return self.arch.params
+
+
+class Comm:
+    """``p`` ranks on one node, with the PID table pre-exchanged.
+
+    ``pid_base``/``name_prefix`` keep ranks distinguishable when several
+    nodes share one simulator (multi-node clusters).
+    """
+
+    def __init__(
+        self,
+        node: Node,
+        size: int,
+        pid_base: int = 20_000,
+        name_prefix: str = "rank",
+    ):
+        if size < 1:
+            raise ValueError("communicator needs at least 1 rank")
+        self.node = node
+        self.size = size
+        self.name_prefix = name_prefix
+        self.shm = ShmTransport(
+            node.sim, node.params, size, verify=node.verify
+        )
+        self._pids: list[int] = []
+        self._placements = []
+        for rank in range(size):
+            pid = pid_base + rank  # deterministic, mirrors MPI_Init exchange
+            place = node.arch.placement(rank)
+            node.cma.register(pid, socket=place.socket)
+            self._pids.append(pid)
+            self._placements.append(place)
+        self._op_counters = [itertools.count() for _ in range(size)]
+
+    # -- identity ------------------------------------------------------------
+
+    def pid_of(self, rank: int) -> int:
+        """The PID table entry — known to every rank since init."""
+        return self._pids[rank]
+
+    def space_of(self, rank: int):
+        return self.node.manager.get(self._pids[rank])
+
+    def placement_of(self, rank: int):
+        return self._placements[rank]
+
+    # -- memory ----------------------------------------------------------------
+
+    def allocate(self, rank: int, nbytes: int, name: str = "buf") -> Buffer:
+        """Allocate in one rank's address space."""
+        return self.space_of(rank).allocate(nbytes, name=f"r{rank}:{name}")
+
+    # -- execution ---------------------------------------------------------------
+
+    def spawn_rank(
+        self, rank: int, fn: Callable[["RankCtx"], Generator], **ctx_kw
+    ) -> SimProcess:
+        """Run ``fn(ctx)`` as rank ``rank`` (correct pid + placement)."""
+        ctx = RankCtx(self, rank, **ctx_kw)
+        place = self._placements[rank]
+        proc = self.node.sim.spawn(
+            fn(ctx),
+            name=f"{self.name_prefix}{rank}",
+            pid=self._pids[rank],
+            socket=place.socket,
+            core=place.core,
+        )
+        ctx.proc = proc
+        return proc
+
+    def run_ranks(
+        self, fn: Callable[["RankCtx"], Generator], **ctx_kw
+    ) -> list[SimProcess]:
+        """Spawn ``fn`` on every rank and run the node to completion."""
+        procs = [self.spawn_rank(r, fn, **ctx_kw) for r in range(self.size)]
+        self.node.sim.run_all(procs)
+        return procs
+
+
+class RankCtx:
+    """Everything one rank sees while executing a collective."""
+
+    def __init__(self, comm: Comm, rank: int, **extras: Any):
+        self.comm = comm
+        self.rank = rank
+        self.size = comm.size
+        self.node = comm.node
+        self.sim = comm.node.sim
+        self.cma = comm.node.cma
+        self.shm = comm.shm
+        self.params = comm.node.params
+        self.topology = comm.node.arch.topology
+        self.proc: Optional[SimProcess] = None
+        # collective arguments, filled by the runner:
+        self.root: int = extras.pop("root", 0)
+        self.eta: int = extras.pop("eta", 0)
+        self.sendbuf: Optional[Buffer] = extras.pop("sendbuf", None)
+        self.recvbuf: Optional[Buffer] = extras.pop("recvbuf", None)
+        self.in_place: bool = extras.pop("in_place", False)
+        self.extras = extras
+
+    # -- identity helpers ------------------------------------------------------
+
+    @property
+    def is_root(self) -> bool:
+        return self.rank == self.root
+
+    def pid_of(self, rank: int) -> int:
+        return self.comm.pid_of(rank)
+
+    def next_op(self) -> int:
+        """Per-rank collective sequence number (identical across ranks
+        because ranks invoke collectives in the same order)."""
+        return next(self.comm._op_counters[self.rank])
+
+    # -- shm control-plane shortcuts -----------------------------------------------
+
+    def sm_bcast(self, op: Any, payload: Any = None, root: int = 0) -> Generator:
+        return smc.sm_bcast(self.shm, self.rank, self.size, op, payload, root)
+
+    def sm_gather(self, op: Any, value: Any = None, root: int = 0) -> Generator:
+        return smc.sm_gather(self.shm, self.rank, self.size, op, value, root)
+
+    def sm_allgather(self, op: Any, value: Any = None) -> Generator:
+        return smc.sm_allgather(self.shm, self.rank, self.size, op, value)
+
+    def sm_barrier(self, op: Any) -> Generator:
+        return smc.sm_barrier(self.shm, self.rank, self.size, op)
+
+    def ctrl_send(self, dst: int, tag: Any, payload: Any = None):
+        return self.shm.ctrl_send(self.rank, dst, tag, payload)
+
+    def ctrl_recv(self, src: Any, tag: Any):
+        return self.shm.ctrl_recv(self.rank, src, tag)
+
+    def spawn_helper(self, gen: Generator, name: str) -> SimProcess:
+        """Run a sub-operation concurrently *as this rank* (same pid/socket).
+
+        This is how nonblocking pt2pt (isend/irecv) is expressed: the helper
+        process shares the rank's identity so CMA contention accounting and
+        address-space resolution stay correct.  Wait on it with ``Join``.
+        """
+        place = self.comm.placement_of(self.rank)
+        return self.sim.spawn(
+            gen,
+            name=f"{self.comm.name_prefix}{self.rank}:{name}",
+            pid=self.comm.pid_of(self.rank),
+            socket=place.socket,
+            core=place.core,
+        )
+
+    # -- CMA shortcuts ------------------------------------------------------------
+
+    def cma_read(
+        self, src_rank: int, local: tuple[int, int], remote: tuple[int, int]
+    ) -> Generator:
+        """Read ``remote`` of ``src_rank`` into my ``local``."""
+        return self.cma.read_simple(self.proc, self.pid_of(src_rank), local, remote)
+
+    def cma_write(
+        self, dst_rank: int, local: tuple[int, int], remote: tuple[int, int]
+    ) -> Generator:
+        """Write my ``local`` into ``remote`` of ``dst_rank``."""
+        return self.cma.write_simple(self.proc, self.pid_of(dst_rank), local, remote)
+
+    def combine(
+        self,
+        dst: Buffer,
+        dst_off: int,
+        src: Buffer,
+        src_off: int,
+        nbytes: int,
+    ) -> Generator:
+        """Elementwise combine (modular uint8 sum): n * reduce_beta.
+
+        The reduction operator used throughout the Reduce/Allreduce
+        extension is addition mod 256 — commutative, associative, and
+        exactly representable, so verification is bit-precise regardless
+        of the combine order an algorithm uses.
+        """
+        from repro.sim import Delay
+
+        yield Delay(nbytes * self.params.reduce_beta)
+        if self.node.verify:
+            dst.view(dst_off, nbytes)[:] += src.view(src_off, nbytes)
+        return nbytes
+
+    # -- local memcpy ----------------------------------------------------------------
+
+    def memcpy(
+        self,
+        dst: Buffer,
+        dst_off: int,
+        src: Buffer,
+        src_off: int,
+        nbytes: int,
+    ) -> Generator:
+        """Local copy (root copying its own block): n * memcpy_beta."""
+        from repro.sim import Delay
+
+        yield Delay(nbytes * self.params.memcpy_beta)
+        if self.node.verify:
+            dst.view(dst_off, nbytes)[:] = src.view(src_off, nbytes)
+        return nbytes

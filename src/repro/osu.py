@@ -1,0 +1,132 @@
+"""OSU-microbenchmark-style CLI for the simulated collectives.
+
+Mirrors the familiar ``osu_bcast``/``osu_scatter`` interface so results
+read like the tool every MPI user already knows::
+
+    python -m repro.osu scatter --arch knl --procs 64
+    python -m repro.osu bcast --arch broadwell --impl mvapich2
+    python -m repro.osu allreduce --impl ring --min 1024 --max 1048576
+
+``--impl`` selects who runs the collective:
+
+* ``proposed`` (default) — the calibrated tuner picks the paper's
+  contention-aware algorithm per size;
+* a library name (``mvapich2``/``intelmpi``/``openmpi``) — that baseline
+  model's tuning table;
+* an algorithm name from the registry (e.g. ``throttled_read``), with
+  ``--param k=8``-style overrides.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.bench.report import format_bytes
+from repro.core.baselines import LIBRARY_NAMES, library
+from repro.core.registry import ALGORITHMS, algorithms_for
+from repro.core.runner import CollectiveSpec, run_collective
+from repro.core.tuning import Tuner
+from repro.machine import ARCH_NAMES, get_arch
+
+__all__ = ["main"]
+
+
+def _parse_params(pairs: list[str]) -> dict:
+    out: dict = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--param expects key=value, got {pair!r}")
+        key, value = pair.split("=", 1)
+        try:
+            out[key] = int(value)
+        except ValueError:
+            out[key] = value
+    return out
+
+
+def _latency(
+    collective: str,
+    impl: str,
+    arch_name: str,
+    procs: int,
+    eta: int,
+    params: dict,
+    tuner: Optional[Tuner],
+    verify: bool,
+) -> tuple[float, str]:
+    """One measurement point; returns (latency_us, algorithm label)."""
+    if impl == "proposed":
+        assert tuner is not None
+        choice = tuner.choose(collective, eta, procs)
+        res = tuner.run(collective, eta, procs, verify=verify)
+        return res.latency_us, choice.describe()
+    if impl in LIBRARY_NAMES:
+        lib = library(impl)
+        alg, lib_params = lib.select(collective, eta, procs)
+        res = lib.run(collective, get_arch(arch_name), eta, procs, verify=verify)
+        return res.latency_us, alg
+    # explicit algorithm
+    spec = CollectiveSpec(
+        collective,
+        impl,
+        get_arch(arch_name),
+        procs=procs,
+        eta=eta,
+        params=params,
+        verify=verify,
+    )
+    return run_collective(spec).latency_us, impl
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.osu",
+        description="OSU-style latency sweeps on the simulated node.",
+    )
+    parser.add_argument("collective", choices=sorted(ALGORITHMS))
+    parser.add_argument("--arch", default="knl", choices=ARCH_NAMES)
+    parser.add_argument("--procs", type=int, default=None,
+                        help="ranks (default: a manageable fraction of the arch)")
+    parser.add_argument("--impl", default="proposed",
+                        help="'proposed', a library (mvapich2/intelmpi/openmpi), "
+                             "or an algorithm name")
+    parser.add_argument("--param", action="append", default=[],
+                        help="algorithm parameter, e.g. --param k=8")
+    parser.add_argument("--min", type=int, default=1024, dest="min_size")
+    parser.add_argument("--max", type=int, default=1 << 22, dest="max_size")
+    parser.add_argument("--verify", action="store_true",
+                        help="move and check real bytes (slower)")
+    args = parser.parse_args(argv)
+
+    arch = get_arch(args.arch)
+    procs = args.procs or min(arch.default_procs, 32)
+    params = _parse_params(args.param)
+
+    if args.impl not in ("proposed", *LIBRARY_NAMES) and args.impl not in algorithms_for(
+        args.collective
+    ):
+        known = ["proposed", *LIBRARY_NAMES, *algorithms_for(args.collective)]
+        raise SystemExit(
+            f"unknown --impl {args.impl!r} for {args.collective}; known: {known}"
+        )
+
+    tuner = Tuner.calibrated(get_arch(args.arch)) if args.impl == "proposed" else None
+
+    print(f"# {args.collective} latency ({args.arch} model, {procs} processes, "
+          f"impl={args.impl}{', verified' if args.verify else ''})")
+    print(f"# {'Size':<10}{'Latency(us)':>14}  Algorithm")
+    eta = args.min_size
+    while eta <= args.max_size:
+        lat, label = _latency(
+            args.collective, args.impl, args.arch, procs, eta, params,
+            tuner, args.verify,
+        )
+        print(f"{format_bytes(eta):<12}{lat:>14.2f}  {label}")
+        eta *= 4
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

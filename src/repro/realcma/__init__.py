@@ -1,0 +1,33 @@
+"""Real Cross Memory Attach: ctypes bindings to the live syscalls.
+
+Everything else in this repository simulates CMA; this package calls the
+actual ``process_vm_readv``/``process_vm_writev`` syscalls between real
+forked processes, preserving the paper's code path end to end.  Absolute
+timings on a development host are *not* the paper's testbed numbers (the
+repro band notes the performance contribution is lost), but:
+
+* correctness of the syscall usage (iovec layout, permission handling,
+  partial transfers) is tested against the real kernel, and
+* the One-to-all microbenchmark (:mod:`repro.realcma.harness`) can
+  demonstrate the contention trend on any multi-core Linux box.
+
+Requires Linux >= 3.2 and either root or ``ptrace_scope`` permitting
+same-user attach; callers should check :func:`cma_available` first.
+"""
+
+from repro.realcma.syscall import (
+    cma_available,
+    process_vm_readv,
+    process_vm_writev,
+    RealCMAError,
+)
+from repro.realcma.harness import one_to_all_read, OneToAllResult
+
+__all__ = [
+    "cma_available",
+    "process_vm_readv",
+    "process_vm_writev",
+    "RealCMAError",
+    "one_to_all_read",
+    "OneToAllResult",
+]

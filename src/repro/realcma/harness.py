@@ -1,0 +1,120 @@
+"""Real-kernel One-to-all microbenchmark over ``multiprocessing``.
+
+Reproduces the paper's Figure 2(b)/(c) experiment on the actual host: one
+*source* process exposes a buffer; ``readers`` concurrent processes pull it
+with real ``process_vm_readv`` calls and report per-call latency.  The
+contention trend (per-reader latency rising with reader count) is the
+paper's phenomenon in miniature, though the magnitude depends entirely on
+the host's core count and kernel version.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import multiprocessing as mp
+import os
+import time
+from dataclasses import dataclass
+
+from repro.realcma.syscall import (
+    RealCMAError,
+    cma_available,
+    iov_from_buffer,
+    process_vm_readv,
+)
+
+__all__ = ["OneToAllResult", "one_to_all_read"]
+
+
+@dataclass(frozen=True)
+class OneToAllResult:
+    """Outcome of one real-kernel one-to-all run."""
+
+    readers: int
+    nbytes: int
+    iters: int
+    mean_latency_us: float
+    max_latency_us: float
+    verified: bool
+
+
+def _source_proc(nbytes: int, addr_q: mp.Queue, stop_evt) -> None:
+    buf = ctypes.create_string_buffer(nbytes)
+    pattern = bytes((i * 31 + 7) % 251 for i in range(min(nbytes, 4096)))
+    data = (pattern * (nbytes // len(pattern) + 1))[:nbytes]
+    buf.raw = data
+    addr_q.put((os.getpid(), ctypes.addressof(buf), nbytes))
+    stop_evt.wait()
+
+
+def _reader_proc(src, nbytes: int, iters: int, out_q: mp.Queue, go_evt) -> None:
+    pid, addr, _ = src
+    local = ctypes.create_string_buffer(nbytes)
+    liov = [iov_from_buffer(local)]
+    riov = [(addr, nbytes)]
+    go_evt.wait()
+    t0 = time.perf_counter()
+    got = 0
+    try:
+        for _ in range(iters):
+            got = process_vm_readv(pid, liov, riov)
+    except RealCMAError as exc:
+        out_q.put(("error", str(exc)))
+        return
+    dt_us = (time.perf_counter() - t0) * 1e6 / iters
+    first = local.raw[:64]
+    expected = bytes((i * 31 + 7) % 251 for i in range(min(64, nbytes)))
+    ok = got == nbytes and first == expected[: len(first)]
+    out_q.put(("ok", dt_us, ok))
+
+
+def one_to_all_read(
+    readers: int = 4, nbytes: int = 256 * 1024, iters: int = 20
+) -> OneToAllResult:
+    """Run the one-to-all read pattern against the live kernel.
+
+    Raises :class:`RealCMAError` if the syscall is unavailable or the
+    kernel denies the attach (check :func:`cma_available` first).
+    """
+    if not cma_available():
+        raise RealCMAError(38, "CMA not usable on this host (ENOSYS/ptrace)")
+    ctx = mp.get_context("fork")
+    addr_q = ctx.Queue()
+    out_q = ctx.Queue()
+    stop_evt = ctx.Event()
+    go_evt = ctx.Event()
+    source = ctx.Process(target=_source_proc, args=(nbytes, addr_q, stop_evt))
+    source.start()
+    try:
+        src = addr_q.get(timeout=10)
+        workers = [
+            ctx.Process(
+                target=_reader_proc, args=(src, nbytes, iters, out_q, go_evt)
+            )
+            for _ in range(readers)
+        ]
+        for w in workers:
+            w.start()
+        go_evt.set()
+        lat, verified = [], True
+        for _ in workers:
+            msg = out_q.get(timeout=60)
+            if msg[0] == "error":
+                raise RealCMAError(1, msg[1])
+            lat.append(msg[1])
+            verified = verified and msg[2]
+        for w in workers:
+            w.join(timeout=10)
+        return OneToAllResult(
+            readers=readers,
+            nbytes=nbytes,
+            iters=iters,
+            mean_latency_us=sum(lat) / len(lat),
+            max_latency_us=max(lat),
+            verified=verified,
+        )
+    finally:
+        stop_evt.set()
+        source.join(timeout=10)
+        if source.is_alive():  # pragma: no cover - cleanup path
+            source.terminate()

@@ -1,0 +1,133 @@
+"""ctypes bindings for the real ``process_vm_readv``/``writev`` syscalls.
+
+The signature mirrors ``man 2 process_vm_readv``::
+
+    ssize_t process_vm_readv(pid_t pid,
+                             const struct iovec *local_iov,  unsigned long liovcnt,
+                             const struct iovec *remote_iov, unsigned long riovcnt,
+                             unsigned long flags);
+
+Buffers are passed as (address, length) pairs; helpers accept any object
+exposing the buffer protocol for the local side.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import ctypes.util
+import errno
+import os
+import sys
+from typing import Sequence
+
+__all__ = [
+    "RealCMAError",
+    "cma_available",
+    "process_vm_readv",
+    "process_vm_writev",
+    "iov_from_buffer",
+]
+
+
+class RealCMAError(OSError):
+    """A failed real CMA call (carries the kernel errno)."""
+
+
+class _IoVec(ctypes.Structure):
+    _fields_ = [
+        ("iov_base", ctypes.c_void_p),
+        ("iov_len", ctypes.c_size_t),
+    ]
+
+
+def _libc():
+    if not sys.platform.startswith("linux"):
+        return None
+    try:
+        return ctypes.CDLL(ctypes.util.find_library("c") or "libc.so.6", use_errno=True)
+    except OSError:  # pragma: no cover - exotic platforms
+        return None
+
+
+_LIBC = _libc()
+_READV = getattr(_LIBC, "process_vm_readv", None) if _LIBC else None
+_WRITEV = getattr(_LIBC, "process_vm_writev", None) if _LIBC else None
+
+for _fn in (_READV, _WRITEV):
+    if _fn is not None:
+        _fn.restype = ctypes.c_ssize_t
+        _fn.argtypes = [
+            ctypes.c_int,
+            ctypes.POINTER(_IoVec),
+            ctypes.c_ulong,
+            ctypes.POINTER(_IoVec),
+            ctypes.c_ulong,
+            ctypes.c_ulong,
+        ]
+
+
+def cma_available() -> bool:
+    """True when the syscalls exist AND a same-user child can be attached.
+
+    Checks Yama's ``ptrace_scope``: values >= 2 forbid non-root attach even
+    to children, in which case the harness must be skipped.
+    """
+    if _READV is None:
+        return False
+    try:
+        with open("/proc/sys/kernel/yama/ptrace_scope") as fh:
+            scope = int(fh.read().strip())
+    except (FileNotFoundError, ValueError):
+        scope = 0
+    if os.geteuid() == 0:
+        return scope < 3
+    return scope < 2
+
+
+def iov_from_buffer(buf) -> tuple[int, int]:
+    """(address, length) of a writable buffer-protocol object."""
+    view = memoryview(buf)
+    if view.readonly:
+        raise ValueError("buffer must be writable")
+    address = ctypes.addressof(ctypes.c_char.from_buffer(buf))
+    return address, view.nbytes
+
+
+def _pack(iov: Sequence[tuple[int, int]]):
+    arr = (_IoVec * max(len(iov), 1))()
+    for i, (addr, ln) in enumerate(iov):
+        arr[i].iov_base = addr
+        arr[i].iov_len = ln
+    return arr
+
+
+def _call(fn, pid: int, local_iov, remote_iov, flags: int) -> int:
+    if fn is None:
+        raise RealCMAError(errno.ENOSYS, "process_vm_readv/writev unavailable")
+    larr = _pack(local_iov)
+    rarr = _pack(remote_iov)
+    got = fn(pid, larr, len(local_iov), rarr, len(remote_iov), flags)
+    if got < 0:
+        err = ctypes.get_errno()
+        raise RealCMAError(err, os.strerror(err))
+    return got
+
+
+def process_vm_readv(
+    pid: int,
+    local_iov: Sequence[tuple[int, int]],
+    remote_iov: Sequence[tuple[int, int]],
+    flags: int = 0,
+) -> int:
+    """Read remote memory of ``pid`` into local buffers; returns bytes."""
+    return _call(_READV, pid, local_iov, remote_iov, flags)
+
+
+def process_vm_writev(
+    pid: int,
+    local_iov: Sequence[tuple[int, int]],
+    remote_iov: Sequence[tuple[int, int]],
+    flags: int = 0,
+) -> int:
+    """Write local buffers into remote memory of ``pid``; returns bytes."""
+    return _call(_WRITEV, pid, local_iov, remote_iov, flags)

@@ -1,0 +1,125 @@
+"""Control-plane collectives over shared memory.
+
+The native CMA collectives bootstrap with tiny metadata exchanges — "the
+root broadcasts the address of its send buffer", "the root gathers the
+addresses of the receive buffers", completion notifications.  These are the
+:math:`T^{sm}_{bcast}` / :math:`T^{sm}_{gather}` / :math:`T^{sm}_{allgather}`
+terms of the cost model.
+
+All are binomial/dissemination patterns over control messages
+(``O(log p)`` rounds of ``t_ctrl``-latency packets), implemented as
+generators parameterised by ``(shm, rank, size, op)`` where ``op`` is a
+collective sequence number every rank derives identically — it isolates
+concurrent/back-to-back collectives from each other.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.shm.transport import ShmTransport
+
+__all__ = ["sm_bcast", "sm_gather", "sm_allgather", "sm_barrier"]
+
+
+def sm_bcast(
+    shm: ShmTransport,
+    rank: int,
+    size: int,
+    op: Any,
+    payload: Any = None,
+    root: int = 0,
+) -> Generator:
+    """Binomial-tree broadcast of a small python payload; returns it."""
+    if size == 1:
+        return payload
+    relrank = (rank - root) % size
+    tag = ("smb", op)
+    mask = 1
+    if relrank != 0:
+        while mask < size:
+            if relrank & mask:
+                src = ((relrank ^ mask) + root) % size
+                msg = yield shm.ctrl_recv(rank, src, tag)
+                payload = msg.payload
+                break
+            mask <<= 1
+    else:
+        while mask < size:
+            mask <<= 1
+    # send phase: children are relrank + mask for each mask below the bit
+    # where we received (for the root: below the first power of two >= p)
+    mask >>= 1
+    while mask > 0:
+        if relrank + mask < size:
+            dst = ((relrank + mask) + root) % size
+            yield shm.ctrl_send(rank, dst, tag, payload)
+        mask >>= 1
+    return payload
+
+
+def sm_gather(
+    shm: ShmTransport,
+    rank: int,
+    size: int,
+    op: Any,
+    value: Any = None,
+    root: int = 0,
+) -> Generator:
+    """Binomial-tree gather of one small value per rank.
+
+    Returns ``{rank: value}`` for all ranks at the root, ``None`` elsewhere.
+    """
+    if size == 1:
+        return {rank: value}
+    relrank = (rank - root) % size
+    tag = ("smg", op)
+    collected = {rank: value}
+    mask = 1
+    while mask < size:
+        if relrank & mask:
+            dst = ((relrank ^ mask) + root) % size
+            yield shm.ctrl_send(rank, dst, tag, collected)
+            return None
+        src_rel = relrank | mask
+        if src_rel < size and src_rel != relrank:
+            src = (src_rel + root) % size
+            msg = yield shm.ctrl_recv(rank, src, tag)
+            collected.update(msg.payload)
+        mask <<= 1
+    return collected
+
+
+def sm_allgather(
+    shm: ShmTransport,
+    rank: int,
+    size: int,
+    op: Any,
+    value: Any = None,
+) -> Generator:
+    """All ranks obtain ``{rank: value}``: gather to 0 then broadcast."""
+    collected = yield from sm_gather(shm, rank, size, ("ag", op), value, root=0)
+    collected = yield from sm_bcast(shm, rank, size, ("ag", op), collected, root=0)
+    return collected
+
+
+def sm_barrier(
+    shm: ShmTransport,
+    rank: int,
+    size: int,
+    op: Any,
+) -> Generator:
+    """Dissemination barrier: ceil(log2 p) rounds, works for any p."""
+    if size == 1:
+        return None
+    k = 0
+    dist = 1
+    while dist < size:
+        dst = (rank + dist) % size
+        src = (rank - dist) % size
+        tag = ("smx", op, k)
+        yield shm.ctrl_send(rank, dst, tag)
+        yield shm.ctrl_recv(rank, src, tag)
+        dist <<= 1
+        k += 1
+    return None

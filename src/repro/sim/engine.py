@@ -1,0 +1,350 @@
+"""Event loop and process model for the discrete-event simulator.
+
+The design follows the classic process-interaction style (SimPy-like) but is
+purpose-built and dependency-free:
+
+* Time is a ``float`` in **microseconds** — the unit used throughout the
+  paper's tables and our model parameters.
+* A :class:`SimProcess` wraps a generator.  Each ``yield`` hands a *command*
+  to the engine; the engine schedules the resumption.  ``return value`` from
+  the generator becomes the process result (retrievable via ``Join``).
+* Every resumption goes through the event heap, even zero-delay ones.  This
+  keeps semantics simple (no re-entrancy, no unbounded recursion when locks
+  are released) at the price of a constant-factor event overhead, which
+  profiling showed is irrelevant next to generator dispatch itself.
+
+The engine knows nothing about machines, kernels, or MPI — those layers are
+implemented as generators that run *on* it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "SimError",
+    "DeadlockError",
+    "Delay",
+    "Acquire",
+    "Release",
+    "Join",
+    "SimProcess",
+    "Simulator",
+]
+
+
+class SimError(RuntimeError):
+    """Base class for simulation protocol errors."""
+
+
+class DeadlockError(SimError):
+    """Raised when the event heap drains while processes are still blocked."""
+
+
+# --------------------------------------------------------------------------
+# Commands.  Plain slotted classes: created in hot loops.
+# --------------------------------------------------------------------------
+
+
+class Command:
+    """Marker base class for values a process may yield to the engine."""
+
+    __slots__ = ()
+
+
+class Delay(Command):
+    """Suspend the yielding process for ``dt`` microseconds of virtual time."""
+
+    __slots__ = ("dt",)
+
+    def __init__(self, dt: float):
+        if dt < 0:
+            raise SimError(f"negative delay {dt!r}")
+        self.dt = dt
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Delay({self.dt})"
+
+
+class Acquire(Command):
+    """Block until the given :class:`~repro.sim.resources.Mutex` is granted."""
+
+    __slots__ = ("lock",)
+
+    def __init__(self, lock):
+        self.lock = lock
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Acquire({self.lock!r})"
+
+
+class Release(Command):
+    """Release a held mutex (the engine resumes the next waiter, FIFO)."""
+
+    __slots__ = ("lock",)
+
+    def __init__(self, lock):
+        self.lock = lock
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Release({self.lock!r})"
+
+
+class Join(Command):
+    """Block until another process finishes; evaluates to its return value."""
+
+    __slots__ = ("proc",)
+
+    def __init__(self, proc: "SimProcess"):
+        self.proc = proc
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Join({self.proc!r})"
+
+
+# --------------------------------------------------------------------------
+# Processes
+# --------------------------------------------------------------------------
+
+_READY = "ready"
+_BLOCKED = "blocked"
+_DONE = "done"
+_FAILED = "failed"
+
+
+class SimProcess:
+    """A schedulable coroutine plus the placement metadata layers hang off it.
+
+    ``socket``/``core`` are assigned by the machine layer when the process is
+    pinned; the mm-lock bounce model reads them straight off contenders, so
+    they live here rather than in a side table.
+    """
+
+    __slots__ = (
+        "sim",
+        "gen",
+        "name",
+        "pid",
+        "socket",
+        "core",
+        "state",
+        "result",
+        "error",
+        "finish_time",
+        "_joiners",
+    )
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str, pid: int):
+        self.sim = sim
+        self.gen = gen
+        self.name = name
+        self.pid = pid
+        self.socket: int = 0
+        self.core: int = 0
+        self.state = _READY
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self.finish_time: Optional[float] = None
+        self._joiners: list[SimProcess] = []
+
+    @property
+    def done(self) -> bool:
+        return self.state in (_DONE, _FAILED)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<SimProcess {self.name} pid={self.pid} {self.state}>"
+
+
+class Simulator:
+    """Single-clock event engine.
+
+    Typical use::
+
+        sim = Simulator()
+        p = sim.spawn(worker(), name="w0")
+        sim.run()
+        assert p.done
+    """
+
+    def __init__(self, max_events: int = 200_000_000):
+        self.now: float = 0.0
+        self.max_events = max_events
+        self.events_processed = 0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._pid_counter = itertools.count(1000)  # PIDs look like real PIDs
+        self._procs: list[SimProcess] = []
+
+    # -- scheduling --------------------------------------------------------
+
+    def schedule(self, dt: float, fn: Callable[[], None]) -> None:
+        """Run callback ``fn`` at ``now + dt``."""
+        if dt < 0:
+            raise SimError(f"cannot schedule in the past (dt={dt})")
+        heapq.heappush(self._heap, (self.now + dt, next(self._seq), fn))
+
+    def spawn(
+        self,
+        gen: Generator,
+        name: Optional[str] = None,
+        pid: Optional[int] = None,
+        socket: int = 0,
+        core: int = 0,
+    ) -> SimProcess:
+        """Register a generator as a process; it starts at the current time.
+
+        ``pid``/``socket``/``core`` let the MPI layer spawn work *as* an
+        existing logical rank (same address space, same placement).
+        """
+        if pid is None:
+            pid = next(self._pid_counter)
+        proc = SimProcess(self, gen, name or f"proc{pid}", pid)
+        proc.socket = socket
+        proc.core = core
+        self._procs.append(proc)
+        self.schedule(0.0, lambda: self._resume(proc, None))
+        return proc
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Drain the event heap; returns the final clock value.
+
+        Raises :class:`DeadlockError` if processes remain blocked with no
+        pending events, which in this codebase always indicates a protocol
+        bug (e.g. a collective waiting for a notification nobody sends).
+        """
+        while self._heap:
+            t, _, fn = self._heap[0]
+            if until is not None and t > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            self.now = t
+            self.events_processed += 1
+            if self.events_processed > self.max_events:
+                raise SimError(
+                    f"exceeded max_events={self.max_events}; runaway simulation?"
+                )
+            fn()
+        blocked = [p for p in self._procs if p.state == _BLOCKED]
+        if blocked:
+            names = ", ".join(p.name for p in blocked[:8])
+            raise DeadlockError(
+                f"simulation deadlock at t={self.now:.3f}us: "
+                f"{len(blocked)} blocked process(es): {names}"
+            )
+        return self.now
+
+    def run_all(self, procs: Iterable[SimProcess]) -> float:
+        """Run to completion and re-raise the first process failure, if any.
+
+        A process dying mid-protocol usually strands its peers, so a
+        resulting deadlock is reported as the *root-cause* failure (with
+        the deadlock chained as context) rather than as DeadlockError.
+        """
+        procs = list(procs)
+        try:
+            self.run()
+        except DeadlockError as dead:
+            for p in procs:
+                if p.state == _FAILED:
+                    raise p.error from dead  # type: ignore[misc]
+            raise
+        for p in procs:
+            if p.state == _FAILED:
+                raise p.error  # type: ignore[misc]
+            if not p.done:
+                raise SimError(f"process {p.name} never completed")
+        return self.now
+
+    # -- process stepping ---------------------------------------------------
+
+    def _resume(self, proc: SimProcess, value: Any) -> None:
+        if proc.done:  # pragma: no cover - defensive
+            return
+        proc.state = _READY
+        try:
+            cmd = proc.gen.send(value)
+        except StopIteration as stop:
+            self._finish(proc, stop.value, None)
+            return
+        except BaseException as exc:  # process raised: record and propagate
+            self._finish(proc, None, exc)
+            return
+        self._dispatch(proc, cmd)
+
+    def _throw(self, proc: SimProcess, exc: BaseException) -> None:
+        """Resume a process by raising ``exc`` inside it (used by channels)."""
+        if proc.done:  # pragma: no cover - defensive
+            return
+        proc.state = _READY
+        try:
+            cmd = proc.gen.throw(exc)
+        except StopIteration as stop:
+            self._finish(proc, stop.value, None)
+            return
+        except BaseException as err:
+            self._finish(proc, None, err)
+            return
+        self._dispatch(proc, cmd)
+
+    def _dispatch(self, proc: SimProcess, cmd: Any) -> None:
+        try:
+            self._dispatch_inner(proc, cmd)
+        except BaseException as exc:
+            # protocol errors (double release, bad iovec, ...) fail the
+            # process that issued the command, like a raise at the yield
+            self._finish(proc, None, exc)
+
+    def _dispatch_inner(self, proc: SimProcess, cmd: Any) -> None:
+        if type(cmd) is Delay:
+            proc.state = _BLOCKED
+            self.schedule(cmd.dt, lambda: self._resume(proc, None))
+        elif type(cmd) is Acquire:
+            proc.state = _BLOCKED
+            cmd.lock._acquire(proc)
+        elif type(cmd) is Release:
+            cmd.lock._release(proc)
+            # Releasing never blocks; continue the releaser via the heap so
+            # the granted waiter (scheduled first) runs at the same timestamp.
+            proc.state = _BLOCKED
+            self.schedule(0.0, lambda: self._resume(proc, None))
+        elif type(cmd) is Join:
+            target = cmd.proc
+            if target.done:
+                if target.state == _FAILED:
+                    self.schedule(0.0, lambda: self._throw(proc, target.error))
+                else:
+                    self.schedule(0.0, lambda: self._resume(proc, target.result))
+                proc.state = _BLOCKED
+            else:
+                proc.state = _BLOCKED
+                target._joiners.append(proc)
+        elif isinstance(cmd, Command):
+            # Channel commands (Send/Recv) know how to dispatch themselves to
+            # avoid a circular import; see repro.sim.channels.
+            proc.state = _BLOCKED
+            cmd._dispatch(self, proc)  # type: ignore[attr-defined]
+        else:
+            self._finish(
+                proc,
+                None,
+                SimError(f"process {proc.name} yielded non-command {cmd!r}"),
+            )
+
+    def _finish(
+        self, proc: SimProcess, result: Any, error: Optional[BaseException]
+    ) -> None:
+        proc.result = result
+        proc.error = error
+        proc.state = _FAILED if error is not None else _DONE
+        proc.finish_time = self.now
+        joiners, proc._joiners = proc._joiners, []
+        for j in joiners:
+            if error is not None:
+                self.schedule(0.0, lambda j=j: self._throw(j, error))
+            else:
+                self.schedule(0.0, lambda j=j: self._resume(j, result))

@@ -1,0 +1,173 @@
+"""Contended resources.
+
+The only resource the kernel model needs is a FIFO mutex whose *contender
+set* is observable: the mm-lock hold-time model inflates the critical
+section as a function of how many processes (and on which sockets) are
+fighting for the lock, which is how `get_user_pages` cache-line bouncing
+shows up in the paper's Figure 4/5 measurements.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim.engine import SimError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import SimProcess, Simulator
+
+__all__ = ["Mutex", "Semaphore"]
+
+
+class Mutex:
+    """FIFO mutual-exclusion lock with an observable contender set.
+
+    Acquire/release go through the engine commands
+    :class:`~repro.sim.engine.Acquire` / :class:`~repro.sim.engine.Release`;
+    the methods here are engine-internal.
+
+    Statistics (`acquisitions`, `total_wait_us`, `max_contenders`) feed the
+    ftrace-style breakdowns.
+    """
+
+    __slots__ = (
+        "sim",
+        "name",
+        "holder",
+        "_waiters",
+        "_wait_since",
+        "acquisitions",
+        "total_wait_us",
+        "max_contenders",
+    )
+
+    def __init__(self, sim: "Simulator", name: str = "mutex"):
+        self.sim = sim
+        self.name = name
+        self.holder: Optional["SimProcess"] = None
+        self._waiters: deque["SimProcess"] = deque()
+        self._wait_since: dict[int, float] = {}
+        self.acquisitions = 0
+        self.total_wait_us = 0.0
+        self.max_contenders = 0
+
+    # -- observability -------------------------------------------------------
+
+    @property
+    def contenders(self) -> list["SimProcess"]:
+        """Processes currently involved with the lock: holder plus waiters."""
+        out = [self.holder] if self.holder is not None else []
+        out.extend(self._waiters)
+        return out
+
+    @property
+    def n_contenders(self) -> int:
+        return (1 if self.holder is not None else 0) + len(self._waiters)
+
+    def contention_profile(self, socket: int) -> tuple[int, int]:
+        """Split the contender set into (same-socket, other-socket) counts
+        relative to ``socket``.  Used by the bounce model."""
+        same = other = 0
+        if self.holder is not None:
+            if self.holder.socket == socket:
+                same += 1
+            else:
+                other += 1
+        for w in self._waiters:
+            if w.socket == socket:
+                same += 1
+            else:
+                other += 1
+        return same, other
+
+    # -- engine internals ------------------------------------------------------
+
+    def _acquire(self, proc: "SimProcess") -> None:
+        if self.holder is proc:
+            raise SimError(f"{proc.name} re-acquired non-reentrant {self.name}")
+        if self.holder is None:
+            self.holder = proc
+            self.acquisitions += 1
+            self.max_contenders = max(self.max_contenders, self.n_contenders)
+            self.sim.schedule(0.0, lambda: self.sim._resume(proc, None))
+        else:
+            self._waiters.append(proc)
+            self._wait_since[proc.pid] = self.sim.now
+            self.max_contenders = max(self.max_contenders, self.n_contenders)
+
+    def _release(self, proc: "SimProcess") -> None:
+        if self.holder is not proc:
+            raise SimError(
+                f"{proc.name} released {self.name} held by "
+                f"{self.holder.name if self.holder else 'nobody'}"
+            )
+        if self._waiters:
+            nxt = self._waiters.popleft()
+            self.holder = nxt
+            self.acquisitions += 1
+            waited = self.sim.now - self._wait_since.pop(nxt.pid)
+            self.total_wait_us += waited
+            self.sim.schedule(0.0, lambda: self.sim._resume(nxt, None))
+        else:
+            self.holder = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        h = self.holder.name if self.holder else None
+        return f"<Mutex {self.name} holder={h} waiters={len(self._waiters)}>"
+
+
+class Semaphore:
+    """Counting semaphore with FIFO wakeups.
+
+    Used for pooled capacities (shared-segment slots): ``Acquire`` takes a
+    unit (blocking when none remain — the backpressure), ``Release``
+    returns one.  Unlike :class:`Mutex` there is no holder identity:
+    any process may release, which is exactly how a receiver frees a slot
+    the sender acquired.
+    """
+
+    __slots__ = ("sim", "name", "capacity", "available", "_waiters",
+                 "acquisitions", "max_waiters")
+
+    def __init__(self, sim: "Simulator", capacity: int, name: str = "sem"):
+        if capacity < 1:
+            raise SimError(f"semaphore capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self.available = capacity
+        self._waiters: deque["SimProcess"] = deque()
+        self.acquisitions = 0
+        self.max_waiters = 0
+
+    @property
+    def in_use(self) -> int:
+        return self.capacity - self.available
+
+    # -- engine internals ----------------------------------------------------
+
+    def _acquire(self, proc: "SimProcess") -> None:
+        if self.available > 0:
+            self.available -= 1
+            self.acquisitions += 1
+            self.sim.schedule(0.0, lambda: self.sim._resume(proc, None))
+        else:
+            self._waiters.append(proc)
+            self.max_waiters = max(self.max_waiters, len(self._waiters))
+
+    def _release(self, proc: "SimProcess") -> None:
+        if self._waiters:
+            nxt = self._waiters.popleft()
+            self.acquisitions += 1
+            self.sim.schedule(0.0, lambda: self.sim._resume(nxt, None))
+        else:
+            if self.available >= self.capacity:
+                raise SimError(f"{self.name}: release past capacity")
+            self.available += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Semaphore {self.name} {self.available}/{self.capacity} "
+            f"waiters={len(self._waiters)}>"
+        )

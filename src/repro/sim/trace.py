@@ -1,0 +1,136 @@
+"""Phase tracing — the simulator's stand-in for ftrace.
+
+The paper (Fig. 4) breaks a CMA read into *syscall / permission check /
+acquire locks / pin pages / copy data* spans using the ftrace kernel tracer.
+Our simulated kernel records the same spans here so the breakdown figure can
+be regenerated, and so tests can assert where time actually went.
+
+Tracing is off by default (a disabled tracer costs one attribute check per
+span) and is enabled per-experiment.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Optional
+
+__all__ = ["Span", "Tracer", "PHASES"]
+
+#: Canonical CMA phases, in the order the kernel executes them.
+PHASES = ("syscall", "check", "lock", "pin", "copy")
+
+
+class Span:
+    """One timed phase of one process."""
+
+    __slots__ = ("proc", "phase", "t0", "t1", "meta")
+
+    def __init__(self, proc: str, phase: str, t0: float, t1: float, meta=None):
+        self.proc = proc
+        self.phase = phase
+        self.t0 = t0
+        self.t1 = t1
+        self.meta = meta
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Span({self.proc}, {self.phase}, {self.t0:.3f}->{self.t1:.3f})"
+
+
+class Tracer:
+    """Accumulates spans; cheap to query per phase or per process."""
+
+    __slots__ = ("enabled", "spans")
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self.spans: list[Span] = []
+
+    def record(
+        self, proc: str, phase: str, t0: float, t1: float, meta=None
+    ) -> None:
+        if self.enabled:
+            self.spans.append(Span(proc, phase, t0, t1, meta))
+
+    def clear(self) -> None:
+        self.spans.clear()
+
+    # -- aggregation ---------------------------------------------------------
+
+    def total_by_phase(
+        self, procs: Optional[Iterable[str]] = None
+    ) -> dict[str, float]:
+        """Sum span durations per phase, optionally restricted to processes."""
+        allowed = set(procs) if procs is not None else None
+        out: dict[str, float] = defaultdict(float)
+        for s in self.spans:
+            if allowed is None or s.proc in allowed:
+                out[s.phase] += s.duration
+        return dict(out)
+
+    def mean_by_phase(self) -> dict[str, float]:
+        """Mean span duration per phase across all recorded spans."""
+        sums: dict[str, float] = defaultdict(float)
+        counts: dict[str, int] = defaultdict(int)
+        for s in self.spans:
+            sums[s.phase] += s.duration
+            counts[s.phase] += 1
+        return {k: sums[k] / counts[k] for k in sums}
+
+    def breakdown(self, proc: str) -> dict[str, float]:
+        """Per-phase totals for a single process — one bar of Figure 4."""
+        out: dict[str, float] = defaultdict(float)
+        for s in self.spans:
+            if s.proc == proc:
+                out[s.phase] += s.duration
+        return dict(out)
+
+    # -- export ------------------------------------------------------------
+
+    def to_chrome_trace(self) -> list[dict]:
+        """Spans as Chrome Trace Event Format (load in chrome://tracing or
+        https://ui.perfetto.dev to see the collective's timeline).
+
+        Each simulated process becomes a "thread"; phases become complete
+        ('X') events.  Times are already microseconds, the format's unit.
+        """
+        tids: dict[str, int] = {}
+        events = []
+        for s in self.spans:
+            tid = tids.setdefault(s.proc, len(tids) + 1)
+            events.append(
+                {
+                    "name": s.phase,
+                    "cat": "cma",
+                    "ph": "X",
+                    "ts": s.t0,
+                    "dur": s.duration,
+                    "pid": 1,
+                    "tid": tid,
+                    "args": {} if s.meta is None else {"meta": str(s.meta)},
+                }
+            )
+        # thread name metadata so the viewer shows rank names
+        for proc, tid in tids.items():
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": tid,
+                    "args": {"name": proc},
+                }
+            )
+        return events
+
+    def save_chrome_trace(self, path: str) -> int:
+        """Write the Chrome trace JSON; returns the number of span events."""
+        import json
+
+        events = self.to_chrome_trace()
+        with open(path, "w") as fh:
+            json.dump(events, fh)
+        return sum(1 for e in events if e.get("ph") == "X")

@@ -1,0 +1,194 @@
+"""Unit + property tests for paged address spaces and iovec resolution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel import AddressSpace, AddressSpaceManager, CMAError
+from repro.kernel.errors import EFAULT, ESRCH
+
+
+@pytest.fixture
+def mgr():
+    return AddressSpaceManager(page_size=4096)
+
+
+@pytest.fixture
+def space(mgr):
+    return mgr.create(pid=100)
+
+
+class TestAllocation:
+    def test_buffers_are_page_aligned(self, space):
+        for n in (1, 100, 4096, 5000):
+            buf = space.allocate(n)
+            assert buf.addr % 4096 == 0
+
+    def test_buffers_do_not_overlap(self, space):
+        bufs = [space.allocate(3000) for _ in range(10)]
+        spans = sorted((b.addr, b.end) for b in bufs)
+        for (a0, a1), (b0, _) in zip(spans, spans[1:]):
+            assert a1 <= b0
+
+    def test_zero_size_rejected(self, space):
+        with pytest.raises(ValueError):
+            space.allocate(0)
+
+    def test_data_starts_zeroed(self, space):
+        buf = space.allocate(64)
+        assert not buf.data.any()
+
+    def test_fill_and_view(self, space):
+        buf = space.allocate(16)
+        buf.fill(np.arange(16, dtype=np.uint8))
+        assert list(buf.view(4, 4)) == [4, 5, 6, 7]
+
+    def test_view_is_not_a_copy(self, space):
+        buf = space.allocate(8)
+        buf.view(0, 8)[:] = 9
+        assert buf.data[0] == 9
+
+    def test_view_out_of_bounds(self, space):
+        buf = space.allocate(8)
+        with pytest.raises(CMAError):
+            buf.view(4, 8)
+
+    def test_iov_helper(self, space):
+        buf = space.allocate(100)
+        addr, ln = buf.iov(10, 20)
+        assert addr == buf.addr + 10
+        assert ln == 20
+
+
+class TestResolution:
+    def test_resolve_within_buffer(self, space):
+        buf = space.allocate(8192)
+        got, off = space.resolve(buf.addr + 5000, 100)
+        assert got is buf
+        assert off == 5000
+
+    def test_resolve_unmapped_faults(self, space):
+        space.allocate(4096)
+        with pytest.raises(CMAError) as e:
+            space.resolve(0xDEAD0000, 1)
+        assert e.value.errno == EFAULT
+
+    def test_resolve_past_end_faults(self, space):
+        buf = space.allocate(4096)
+        with pytest.raises(CMAError):
+            space.resolve(buf.addr + 4000, 200)
+
+    def test_guard_page_between_allocations(self, space):
+        a = space.allocate(4096)
+        space.allocate(4096)
+        # one byte past buffer a must fault, even though b exists
+        with pytest.raises(CMAError):
+            space.resolve(a.end, 1)
+
+    def test_unknown_pid_is_esrch(self, mgr):
+        with pytest.raises(CMAError) as e:
+            mgr.get(999)
+        assert e.value.errno == ESRCH
+
+    def test_duplicate_pid_rejected(self, mgr):
+        mgr.create(1)
+        with pytest.raises(ValueError):
+            mgr.create(1)
+
+    def test_contains(self, mgr):
+        mgr.create(5)
+        assert 5 in mgr
+        assert 6 not in mgr
+
+
+class TestGatherScatter:
+    def test_gather_concatenates(self, space):
+        a = space.allocate(4)
+        b = space.allocate(4)
+        a.fill(1)
+        b.fill(2)
+        got = space.gather_bytes([a.iov(), b.iov()])
+        assert list(got) == [1, 1, 1, 1, 2, 2, 2, 2]
+
+    def test_scatter_fills_in_order(self, space):
+        a = space.allocate(4)
+        b = space.allocate(4)
+        n = space.scatter_bytes([a.iov(), b.iov()], np.arange(8, dtype=np.uint8))
+        assert n == 8
+        assert list(a.data) == [0, 1, 2, 3]
+        assert list(b.data) == [4, 5, 6, 7]
+
+    def test_scatter_partial_data(self, space):
+        a = space.allocate(4)
+        b = space.allocate(4)
+        n = space.scatter_bytes([a.iov(), b.iov()], np.arange(6, dtype=np.uint8))
+        assert n == 6
+        assert list(b.data) == [4, 5, 0, 0]
+
+    def test_empty_iovs(self, space):
+        assert space.gather_bytes([]).size == 0
+        assert space.scatter_bytes([], np.zeros(4, dtype=np.uint8)) == 0
+
+    def test_zero_length_entries_skipped(self, space):
+        a = space.allocate(4)
+        got = space.gather_bytes([(a.addr, 0), a.iov()])
+        assert got.size == 4
+
+
+class TestPageCounting:
+    def test_single_entry_page_count(self, space):
+        buf = space.allocate(3 * 4096)
+        assert space.total_pages([buf.iov(0, 1)]) == 1
+        assert space.total_pages([buf.iov(0, 4096)]) == 1
+        assert space.total_pages([buf.iov(0, 4097)]) == 2
+        # crossing a page boundary counts both pages
+        assert space.total_pages([buf.iov(4090, 10)]) == 2
+
+    def test_multiple_entries_counted_separately(self, space):
+        buf = space.allocate(8192)
+        iov = [buf.iov(0, 100), buf.iov(4096, 100)]
+        assert space.total_pages(iov) == 2
+
+    def test_zero_length_costs_nothing(self, space):
+        buf = space.allocate(4096)
+        assert space.total_pages([(buf.addr, 0)]) == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=10_000), min_size=1, max_size=8),
+    seed=st.integers(min_value=0, max_value=2 ** 31 - 1),
+)
+def test_property_gather_scatter_roundtrip(sizes, seed):
+    """scatter(gather(iov)) across fresh buffers preserves the bytes."""
+    mgr = AddressSpaceManager(page_size=4096)
+    src_space = mgr.create(1)
+    dst_space = mgr.create(2)
+    rng = np.random.default_rng(seed)
+    src_bufs = []
+    for n in sizes:
+        b = src_space.allocate(n)
+        b.fill(rng.integers(0, 256, size=n, dtype=np.uint8))
+        src_bufs.append(b)
+    dst_bufs = [dst_space.allocate(n) for n in sizes]
+    data = src_space.gather_bytes([b.iov() for b in src_bufs])
+    n = dst_space.scatter_bytes([b.iov() for b in dst_bufs], data)
+    assert n == sum(sizes)
+    for sb, db in zip(src_bufs, dst_bufs):
+        assert np.array_equal(sb.data, db.data)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    offset=st.integers(min_value=0, max_value=20_000),
+    nbytes=st.integers(min_value=1, max_value=20_000),
+)
+def test_property_page_count_matches_formula(offset, nbytes):
+    """total_pages == pages spanned by [offset, offset+nbytes)."""
+    mgr = AddressSpaceManager(page_size=4096)
+    space = mgr.create(1)
+    buf = space.allocate(40_000)
+    first = (buf.addr + offset) // 4096
+    last = (buf.addr + offset + nbytes - 1) // 4096
+    assert space.total_pages([buf.iov(offset, nbytes)]) == last - first + 1

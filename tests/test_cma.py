@@ -1,0 +1,478 @@
+"""Tests for the simulated CMA syscalls: semantics, cost, and contention.
+
+The contention tests are the heart of the reproduction: they assert that the
+paper's Figure 2 phenomenology *emerges* from the mm-lock model (one-to-all
+degrades super-linearly, all-to-all doesn't degrade at all).
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernel import (
+    AddressSpaceManager,
+    CMAError,
+    CMAKernel,
+)
+from repro.kernel.cma import IOV_MAX
+from repro.kernel.errors import EINVAL, EPERM, ESRCH
+from repro.machine import make_generic
+from repro.sim import Simulator, Tracer
+
+
+def make_node(nprocs=4, arch=None, verify=True, trace=False):
+    """Minimal kernel-level test node: sim + spaces + pinned processes."""
+    arch = arch or make_generic(sockets=1, cores_per_socket=max(nprocs, 2))
+    sim = Simulator()
+    tracer = Tracer(enabled=trace)
+    mgr = AddressSpaceManager(arch.params.page_size)
+    cma = CMAKernel(sim, mgr, arch.params, tracer, verify=verify)
+    procs = []
+
+    def idle():
+        return
+        yield  # pragma: no cover
+
+    for rank in range(nprocs):
+        p = sim.spawn(idle(), name=f"rank{rank}")
+        place = arch.placement(rank)
+        p.socket, p.core = place.socket, place.core
+        cma.register(p.pid)
+        procs.append(p)
+    sim.run()  # drain the idle spawns; now spawn real work as needed
+    return sim, cma, procs, arch
+
+
+def run_proc(sim, gen, proc_template):
+    """Spawn a generator as a process inheriting a template's placement."""
+    p = sim.spawn(gen, name=proc_template.name)
+    p.pid = proc_template.pid
+    p.socket = proc_template.socket
+    p.core = proc_template.core
+    return p
+
+
+class TestSemantics:
+    def test_read_moves_bytes(self):
+        sim, cma, procs, arch = make_node(2)
+        src = cma.manager.get(procs[0].pid).allocate(1000)
+        dst = cma.manager.get(procs[1].pid).allocate(1000)
+        src.fill(np.arange(1000, dtype=np.uint8) % 251)
+
+        def reader():
+            n = yield from cma.read_simple(procs[1], procs[0].pid, dst.iov(), src.iov())
+            return n
+
+        p = run_proc(sim, reader(), procs[1])
+        sim.run_all([p])
+        assert p.result == 1000
+        assert np.array_equal(dst.data, src.data)
+
+    def test_write_moves_bytes(self):
+        sim, cma, procs, arch = make_node(2)
+        local = cma.manager.get(procs[0].pid).allocate(512)
+        remote = cma.manager.get(procs[1].pid).allocate(512)
+        local.fill(7)
+
+        def writer():
+            n = yield from cma.write_simple(
+                procs[0], procs[1].pid, local.iov(), remote.iov()
+            )
+            return n
+
+        p = run_proc(sim, writer(), procs[0])
+        sim.run_all([p])
+        assert p.result == 512
+        assert (remote.data == 7).all()
+
+    def test_copy_is_min_of_local_and_remote(self):
+        sim, cma, procs, _ = make_node(2)
+        src = cma.manager.get(procs[0].pid).allocate(100)
+        dst = cma.manager.get(procs[1].pid).allocate(40)
+        src.fill(3)
+
+        def reader():
+            return (
+                yield from cma.read_simple(procs[1], procs[0].pid, dst.iov(), src.iov())
+            )
+
+        p = run_proc(sim, reader(), procs[1])
+        sim.run_all([p])
+        assert p.result == 40
+        assert (dst.data == 3).all()
+
+    def test_multi_iovec_scatter_gather(self):
+        sim, cma, procs, _ = make_node(2)
+        sspace = cma.manager.get(procs[0].pid)
+        dspace = cma.manager.get(procs[1].pid)
+        s1, s2 = sspace.allocate(4), sspace.allocate(4)
+        d = dspace.allocate(8)
+        s1.fill(1)
+        s2.fill(2)
+
+        def reader():
+            return (
+                yield from cma.process_vm_readv(
+                    procs[1], procs[0].pid, [d.iov()], [s1.iov(), s2.iov()]
+                )
+            )
+
+        p = run_proc(sim, reader(), procs[1])
+        sim.run_all([p])
+        assert list(d.data) == [1, 1, 1, 1, 2, 2, 2, 2]
+
+    def test_esrch_for_unknown_pid(self):
+        sim, cma, procs, _ = make_node(2)
+        d = cma.manager.get(procs[1].pid).allocate(8)
+
+        def reader():
+            yield from cma.read_simple(procs[1], 424242, d.iov(), (0x1000, 8))
+
+        p = run_proc(sim, reader(), procs[1])
+        sim.run()
+        assert isinstance(p.error, CMAError) and p.error.errno == ESRCH
+
+    def test_eperm_for_denied_pid(self):
+        sim, cma, procs, _ = make_node(2)
+        src = cma.manager.get(procs[0].pid).allocate(8)
+        dst = cma.manager.get(procs[1].pid).allocate(8)
+        cma.denied_pids.add(procs[0].pid)
+
+        def reader():
+            yield from cma.read_simple(procs[1], procs[0].pid, dst.iov(), src.iov())
+
+        p = run_proc(sim, reader(), procs[1])
+        sim.run()
+        assert isinstance(p.error, CMAError) and p.error.errno == EPERM
+
+    def test_einval_for_flags(self):
+        sim, cma, procs, _ = make_node(2)
+        src = cma.manager.get(procs[0].pid).allocate(8)
+        dst = cma.manager.get(procs[1].pid).allocate(8)
+
+        def reader():
+            yield from cma.process_vm_readv(
+                procs[1], procs[0].pid, [dst.iov()], [src.iov()], flags=1
+            )
+
+        p = run_proc(sim, reader(), procs[1])
+        sim.run()
+        assert isinstance(p.error, CMAError) and p.error.errno == EINVAL
+
+    def test_einval_for_too_many_iovecs(self):
+        sim, cma, procs, _ = make_node(2)
+        src = cma.manager.get(procs[0].pid).allocate(8)
+        dst = cma.manager.get(procs[1].pid).allocate(8)
+        huge = [(src.addr, 0)] * (IOV_MAX + 1)
+
+        def reader():
+            yield from cma.process_vm_readv(procs[1], procs[0].pid, [dst.iov()], huge)
+
+        p = run_proc(sim, reader(), procs[1])
+        sim.run()
+        assert isinstance(p.error, CMAError) and p.error.errno == EINVAL
+
+    def test_fault_on_unmapped_remote(self):
+        sim, cma, procs, _ = make_node(2)
+        dst = cma.manager.get(procs[1].pid).allocate(8)
+
+        def reader():
+            yield from cma.read_simple(
+                procs[1], procs[0].pid, dst.iov(), (0xBAD000, 8)
+            )
+
+        p = run_proc(sim, reader(), procs[1])
+        sim.run()
+        assert isinstance(p.error, CMAError)
+
+
+class TestStepTriggering:
+    """The Table III liovcnt/riovcnt games used to isolate T1..T4."""
+
+    def _timed(self, local_iov, remote_iov, nbytes=4 * 4096):
+        sim, cma, procs, arch = make_node(2)
+        src = cma.manager.get(procs[0].pid).allocate(nbytes)
+        dst = cma.manager.get(procs[1].pid).allocate(nbytes)
+        liov = local_iov(dst)
+        riov = remote_iov(src)
+
+        def caller():
+            t0 = sim.now
+            yield from cma.process_vm_readv(procs[1], procs[0].pid, liov, riov)
+            return sim.now - t0
+
+        p = run_proc(sim, caller(), procs[1])
+        sim.run_all([p])
+        return p.result, arch.params
+
+    def test_t1_syscall_only(self):
+        t, p = self._timed(lambda d: [], lambda s: [])
+        assert t == pytest.approx(p.alpha_syscall)
+
+    def test_t2_adds_access_check(self):
+        t, p = self._timed(lambda d: [], lambda s: [(s.addr, 0)])
+        assert t == pytest.approx(p.alpha_syscall + p.alpha_check)
+
+    def test_t3_adds_lock_pin_no_copy(self):
+        n = 4 * 4096
+        t, p = self._timed(lambda d: [], lambda s: [s.iov()], nbytes=n)
+        assert t == pytest.approx(p.alpha + 4 * p.l_page)
+
+    def test_t4_full_transfer(self):
+        n = 4 * 4096
+        t, p = self._timed(lambda d: [d.iov()], lambda s: [s.iov()], nbytes=n)
+        assert t == pytest.approx(p.alpha + 4 * p.l_page + n * p.beta)
+
+    def test_times_are_ordered(self):
+        n = 4 * 4096
+        t1, _ = self._timed(lambda d: [], lambda s: [])
+        t2, _ = self._timed(lambda d: [], lambda s: [(s.addr, 0)])
+        t3, _ = self._timed(lambda d: [], lambda s: [s.iov()], nbytes=n)
+        t4, _ = self._timed(lambda d: [d.iov()], lambda s: [s.iov()], nbytes=n)
+        assert t1 < t2 < t3 < t4
+
+
+def one_to_all_latency(readers, nbytes, arch=None, same_buffer=True):
+    """All `readers` concurrently read `nbytes` from rank 0 (Fig 2(b)/(c))."""
+    arch = arch or make_generic(sockets=1, cores_per_socket=max(readers + 1, 2))
+    sim, cma, procs, _ = make_node(readers + 1, arch=arch, verify=False)
+    src_space = cma.manager.get(procs[0].pid)
+    if same_buffer:
+        shared = src_space.allocate(nbytes)
+        srcs = [shared] * readers
+    else:
+        srcs = [src_space.allocate(nbytes) for _ in range(readers)]
+    workers = []
+    for i in range(readers):
+        dst = cma.manager.get(procs[i + 1].pid).allocate(nbytes)
+
+        def reader(i=i, dst=dst):
+            t0 = sim.now
+            yield from cma.read_simple(
+                procs[i + 1], procs[0].pid, dst.iov(), srcs[i].iov()
+            )
+            return sim.now - t0
+
+        workers.append(run_proc(sim, reader(), procs[i + 1]))
+    sim.run_all(workers)
+    return max(w.result for w in workers)
+
+
+def all_to_all_latency(pairs, nbytes):
+    """Disjoint reader->source pairs (Fig 2(a)): no shared lock."""
+    arch = make_generic(sockets=1, cores_per_socket=max(2 * pairs, 2))
+    sim, cma, procs, _ = make_node(2 * pairs, arch=arch, verify=False)
+    workers = []
+    for i in range(pairs):
+        src = cma.manager.get(procs[i].pid).allocate(nbytes)
+        dst = cma.manager.get(procs[pairs + i].pid).allocate(nbytes)
+
+        def reader(i=i, src=src, dst=dst):
+            t0 = sim.now
+            yield from cma.read_simple(
+                procs[pairs + i], procs[i].pid, dst.iov(), src.iov()
+            )
+            return sim.now - t0
+
+        workers.append(run_proc(sim, reader(), procs[pairs + i]))
+    sim.run_all(workers)
+    return max(w.result for w in workers)
+
+
+class TestContention:
+    def test_one_to_all_degrades_with_readers(self):
+        n = 64 * 1024
+        t1 = one_to_all_latency(1, n)
+        t8 = one_to_all_latency(8, n)
+        t32 = one_to_all_latency(32, n)
+        assert t8 > 2 * t1
+        assert t32 > 2 * t8
+
+    def test_degradation_is_superlinear(self):
+        """Emergent gamma: per-reader lock+pin cost grows *faster* than c
+        (queueing alone would give exactly c; cache bouncing pushes past it)."""
+        n = 256 * 1024
+
+        def per_reader_lock_pin(readers):
+            arch = make_generic(sockets=1, cores_per_socket=max(readers + 1, 2))
+            sim, cma, procs, _ = make_node(
+                readers + 1, arch=arch, verify=False, trace=True
+            )
+            src = cma.manager.get(procs[0].pid).allocate(n)
+            workers = []
+            for i in range(readers):
+                dst = cma.manager.get(procs[i + 1].pid).allocate(n)
+
+                def reader(i=i, dst=dst):
+                    yield from cma.read_simple(
+                        procs[i + 1], procs[0].pid, dst.iov(), src.iov()
+                    )
+
+                workers.append(run_proc(sim, reader(), procs[i + 1]))
+            sim.run_all(workers)
+            ph = cma.tracer.total_by_phase()
+            return (ph.get("lock", 0.0) + ph["pin"]) / readers
+
+        r1 = per_reader_lock_pin(1)
+        r16 = per_reader_lock_pin(16)
+        assert r16 > 10 * r1  # strictly worse than linear-in-c queueing
+
+    def test_same_vs_different_buffer_both_degrade(self):
+        """Fig 2(b) vs 2(c): the bottleneck is the source *process*, not the
+        buffer — different target buffers contend just the same."""
+        n = 128 * 1024
+        same = one_to_all_latency(16, n, same_buffer=True)
+        diff = one_to_all_latency(16, n, same_buffer=False)
+        assert diff == pytest.approx(same, rel=0.05)
+
+    def test_all_to_all_does_not_degrade(self):
+        """Fig 2(a): disjoint pairs scale flat."""
+        n = 128 * 1024
+        t1 = all_to_all_latency(1, n)
+        t8 = all_to_all_latency(8, n)
+        assert t8 == pytest.approx(t1, rel=0.05)
+
+    def test_inter_socket_contention_worse(self):
+        n = 128 * 1024
+        one_socket = make_generic(sockets=1, cores_per_socket=16)
+        two_socket = make_generic(sockets=2, cores_per_socket=8)
+        t_intra = one_to_all_latency(12, n, arch=one_socket)
+        t_inter = one_to_all_latency(12, n, arch=two_socket)
+        assert t_inter > t_intra
+
+
+class TestTracing:
+    def test_breakdown_phases_recorded(self):
+        arch = make_generic(sockets=1, cores_per_socket=4)
+        sim, cma, procs, _ = make_node(2, arch=arch, trace=True)
+        src = cma.manager.get(procs[0].pid).allocate(8 * 4096)
+        dst = cma.manager.get(procs[1].pid).allocate(8 * 4096)
+
+        def reader():
+            yield from cma.read_simple(procs[1], procs[0].pid, dst.iov(), src.iov())
+
+        p = run_proc(sim, reader(), procs[1])
+        sim.run_all([p])
+        phases = cma.tracer.total_by_phase()
+        assert set(phases) == {"syscall", "check", "pin", "lock", "copy"}
+        assert phases["copy"] == pytest.approx(8 * 4096 * arch.params.beta)
+        assert phases["pin"] == pytest.approx(8 * arch.params.l_page)
+        assert phases["lock"] == pytest.approx(0.0)  # uncontended: no waiting
+
+    def test_lock_phase_grows_with_contention(self):
+        arch = make_generic(sockets=1, cores_per_socket=16)
+        n = 32 * 4096
+        times = {}
+        for readers in (1, 8):
+            sim, cma, procs, _ = make_node(
+                readers + 1, arch=arch, verify=False, trace=True
+            )
+            src = cma.manager.get(procs[0].pid).allocate(n)
+            workers = []
+            for i in range(readers):
+                dst = cma.manager.get(procs[i + 1].pid).allocate(n)
+
+                def reader(i=i, dst=dst):
+                    yield from cma.read_simple(
+                        procs[i + 1], procs[0].pid, dst.iov(), src.iov()
+                    )
+
+                workers.append(run_proc(sim, reader(), procs[i + 1]))
+            sim.run_all(workers)
+            ph = cma.tracer.total_by_phase()
+            times[readers] = ph.get("lock", 0.0) / readers
+        assert times[8] > 5 * max(times[1], 1e-9)
+
+
+class TestKnemLimic:
+    def test_knem_cookie_roundtrip(self):
+        from repro.kernel.knem import KnemKernel
+
+        sim, cma, procs, _ = make_node(2)
+        knem = KnemKernel(cma)
+        src = cma.manager.get(procs[0].pid).allocate(64)
+        dst = cma.manager.get(procs[1].pid).allocate(64)
+        src.fill(5)
+        state = {}
+
+        def owner():
+            state["cookie"] = yield from knem.declare_region(
+                procs[0], src.addr, src.nbytes
+            )
+
+        def peer():
+            while "cookie" not in state:
+                from repro.sim import Delay
+
+                yield Delay(0.5)
+            n = yield from knem.inline_copy_from(procs[1], state["cookie"], dst.iov())
+            return n
+
+        po = run_proc(sim, owner(), procs[0])
+        pp = run_proc(sim, peer(), procs[1])
+        sim.run_all([po, pp])
+        assert pp.result == 64
+        assert (dst.data == 5).all()
+
+    def test_knem_unknown_cookie(self):
+        from repro.kernel.knem import KnemKernel
+
+        sim, cma, procs, _ = make_node(2)
+        knem = KnemKernel(cma)
+        dst = cma.manager.get(procs[1].pid).allocate(8)
+
+        def peer():
+            yield from knem.inline_copy_from(procs[1], 0xFFFF, dst.iov())
+
+        p = run_proc(sim, peer(), procs[1])
+        sim.run()
+        assert isinstance(p.error, CMAError) and p.error.errno == EINVAL
+
+    def test_limic_descriptor_roundtrip(self):
+        from repro.kernel.limic import LimicKernel
+
+        sim, cma, procs, _ = make_node(2)
+        limic = LimicKernel(cma)
+        src = cma.manager.get(procs[0].pid).allocate(32)
+        dst = cma.manager.get(procs[1].pid).allocate(32)
+        src.fill(9)
+        state = {}
+
+        def owner():
+            state["tx"] = yield from limic.tx_init(procs[0], src.addr, src.nbytes)
+
+        def peer():
+            from repro.sim import Delay
+
+            while "tx" not in state:
+                yield Delay(0.5)
+            return (yield from limic.tx_copy_from(procs[1], state["tx"], dst.iov()))
+
+        po = run_proc(sim, owner(), procs[0])
+        pp = run_proc(sim, peer(), procs[1])
+        sim.run_all([po, pp])
+        assert pp.result == 32
+        assert (dst.data == 9).all()
+
+    def test_limic_window_bounds(self):
+        from repro.kernel.limic import LimicKernel
+
+        sim, cma, procs, _ = make_node(2)
+        limic = LimicKernel(cma)
+        src = cma.manager.get(procs[0].pid).allocate(16)
+        dst = cma.manager.get(procs[1].pid).allocate(32)
+        state = {}
+
+        def owner():
+            state["tx"] = yield from limic.tx_init(procs[0], src.addr, 16)
+
+        def peer():
+            from repro.sim import Delay
+
+            while "tx" not in state:
+                yield Delay(0.5)
+            yield from limic.tx_copy_from(procs[1], state["tx"], dst.iov())
+
+        po = run_proc(sim, owner(), procs[0])
+        pp = run_proc(sim, peer(), procs[1])
+        sim.run()
+        assert isinstance(pp.error, CMAError)

@@ -1,0 +1,159 @@
+"""Unit tests for topologies, placement policy, and architecture presets."""
+
+import pytest
+
+from repro.machine import (
+    ARCH_NAMES,
+    Topology,
+    get_arch,
+    make_broadwell,
+    make_generic,
+    make_knl,
+    make_power8,
+)
+
+
+class TestTopology:
+    def test_counts(self):
+        t = Topology(sockets=2, cores_per_socket=14, threads_per_core=2)
+        assert t.physical_cores == 28
+        assert t.hw_threads == 56
+        assert t.threads_per_socket == 28
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            Topology(sockets=0, cores_per_socket=4)
+
+    def test_placement_fills_cores_before_smt(self):
+        t = Topology(sockets=1, cores_per_socket=4, threads_per_core=2)
+        cores = [t.place(r).core for r in range(4)]
+        assert cores == [0, 1, 2, 3]
+        assert t.place(4).core == 0 and t.place(4).thread == 1
+
+    def test_placement_socket_spill_matches_paper(self):
+        # Broadwell: ranks 0-13 on socket 0, 14-27 on socket 1 (bump at >14)
+        bdw = make_broadwell().topology
+        assert all(bdw.socket_of(r) == 0 for r in range(14))
+        assert all(bdw.socket_of(r) == 1 for r in range(14, 28))
+        # POWER8: spill past 10 (one socket's cores)
+        p8 = make_power8().topology
+        assert all(p8.socket_of(r) == 0 for r in range(10))
+        assert p8.socket_of(10) == 1
+
+    def test_oversubscription_wraps(self):
+        t = Topology(sockets=2, cores_per_socket=2, threads_per_core=1)
+        assert t.place(4).core == t.place(0).core
+
+    def test_negative_rank_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(1, 4).place(-1)
+
+    def test_intra_socket_fraction(self):
+        t = Topology(sockets=2, cores_per_socket=2)
+        pairs = [(0, 1), (0, 2)]  # (intra, inter)
+        assert t.intra_socket_fraction(pairs) == 0.5
+        assert t.intra_socket_fraction([]) == 1.0
+
+    def test_ranks_on_socket(self):
+        t = Topology(sockets=2, cores_per_socket=3)
+        assert t.ranks_on_socket(0, 6) == [0, 1, 2]
+        assert t.ranks_on_socket(1, 6) == [3, 4, 5]
+
+
+class TestParams:
+    def test_alpha_is_syscall_plus_check(self):
+        p = make_knl().params
+        assert p.alpha == pytest.approx(1.43, abs=0.01)
+
+    def test_beta_unit_conversion(self):
+        p = make_knl().params
+        # 3.29 GB/s -> one 4 KiB page in ~1.245 us
+        assert 4096 * p.beta == pytest.approx(1.245, rel=0.01)
+
+    def test_pages_ceiling(self):
+        p = make_knl().params
+        assert p.pages(0) == 0
+        assert p.pages(1) == 1
+        assert p.pages(4096) == 1
+        assert p.pages(4097) == 2
+
+    def test_power8_large_pages(self):
+        p = make_power8().params
+        assert p.page_size == 65536
+        assert p.pages(65536) == 1
+        # 1 MiB: POWER8 locks 16 pages where x86 locks 256
+        assert p.pages(1 << 20) == 16
+        assert make_knl().params.pages(1 << 20) == 256
+
+    def test_gamma_no_contention_is_one(self):
+        for name in ARCH_NAMES:
+            p = get_arch(name).params
+            assert p.gamma(1) == 1.0
+            assert p.gamma(0) == 1.0
+
+    def test_gamma_monotone_increasing(self):
+        for name in ARCH_NAMES:
+            p = get_arch(name).params
+            vals = [p.gamma(c) for c in range(1, 129)]
+            assert all(b >= a for a, b in zip(vals, vals[1:]))
+
+    def test_gamma_superlinear_on_knl(self):
+        p = make_knl().params
+        # doubling concurrency should more than double gamma at scale
+        assert p.gamma(64) > 2.5 * p.gamma(32)
+
+    def test_gamma_socket_spill_bump(self):
+        p = make_broadwell().params
+        # slope increases past the spill point
+        below = p.gamma(14) - p.gamma(13)
+        above = p.gamma(20) - p.gamma(19)
+        assert above > below
+
+    def test_cma_time_components(self):
+        p = make_knl().params
+        n = 8192
+        expected = p.alpha + n * p.beta + p.l_page * p.gamma(4) * 2
+        assert p.cma_time(n, concurrency=4) == pytest.approx(expected)
+
+    def test_with_updates_is_functional(self):
+        p = make_knl().params
+        q = p.with_updates(gamma_g1=9.0)
+        assert q.gamma_g1 == 9.0
+        assert p.gamma_g1 != 9.0
+
+
+class TestArch:
+    def test_registry_roundtrip(self):
+        for name in ARCH_NAMES:
+            arch = get_arch(name)
+            assert arch.name == name
+
+    def test_unknown_arch(self):
+        with pytest.raises(KeyError):
+            get_arch("sparc")
+
+    def test_fresh_instances(self):
+        a, b = get_arch("knl"), get_arch("knl")
+        assert a is not b
+
+    def test_default_procs_match_paper(self):
+        assert get_arch("knl").default_procs == 64
+        assert get_arch("broadwell").default_procs == 28
+        assert get_arch("power8").default_procs == 160
+
+    def test_throttle_candidates_divide_sensibly(self):
+        for name in ARCH_NAMES:
+            arch = get_arch(name)
+            assert all(
+                1 < k <= arch.default_procs for k in arch.throttle_candidates
+            )
+
+    def test_generic_configurable(self):
+        arch = make_generic(sockets=2, cores_per_socket=4, l_page=0.9)
+        assert arch.topology.sockets == 2
+        assert arch.params.l_page == 0.9
+        assert arch.default_procs == 8
+
+    def test_generic_requires_two_procs(self):
+        with pytest.raises(ValueError):
+            make_generic(sockets=1, cores_per_socket=1, default_procs=1)

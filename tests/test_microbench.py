@@ -1,0 +1,66 @@
+"""Tests for the kernel-level microbenchmark harness (repro.bench.microbench)."""
+
+import pytest
+
+from repro.bench import microbench
+from repro.machine import make_generic
+
+
+@pytest.fixture(scope="module")
+def arch():
+    return make_generic(sockets=1, cores_per_socket=12, default_procs=12)
+
+
+class TestOneToAll:
+    def test_single_reader_matches_model(self, arch):
+        n = 16 * 4096
+        t = microbench.one_to_all_latency(arch, 1, n)
+        p = arch.params
+        assert t == pytest.approx(p.cma_time(n, 1), rel=0.01)
+
+    def test_iterations_average(self, arch):
+        a = microbench.one_to_all_latency(arch, 1, 4096, iters=1)
+        b = microbench.one_to_all_latency(arch, 1, 4096, iters=5)
+        assert a == pytest.approx(b, rel=0.01)
+
+    def test_patterns_both_run(self, arch):
+        same = microbench.one_to_all_latency(arch, 4, 65536, pattern="same-buffer")
+        diff = microbench.one_to_all_latency(arch, 4, 65536, pattern="different-buffers")
+        assert same == pytest.approx(diff, rel=0.05)
+
+
+class TestAllToAll:
+    def test_flat_scaling(self, arch):
+        big = make_generic(sockets=1, cores_per_socket=24)
+        t1 = microbench.all_to_all_latency(big, 1, 65536)
+        t8 = microbench.all_to_all_latency(big, 8, 65536)
+        assert t8 == pytest.approx(t1, rel=0.05)
+
+
+class TestStepTiming:
+    def test_all_steps_ordered(self, arch):
+        t = [
+            microbench.step_timing(arch, s, pages=8)
+            for s in ("syscall", "check", "lock_pin", "copy")
+        ]
+        assert t == sorted(t)
+
+    def test_unknown_step(self, arch):
+        with pytest.raises(KeyError, match="teleport"):
+            microbench.step_timing(arch, "teleport")
+
+
+class TestLockPinAndBreakdown:
+    def test_uncontended_lock_pin_is_l(self, arch):
+        per_page = microbench.lock_pin_per_page(arch, 1, 32)
+        assert per_page == pytest.approx(arch.params.l_page, rel=0.05)
+
+    def test_breakdown_sums_to_sane_total(self, arch):
+        ph = microbench.phase_breakdown(arch, 1, 16)
+        n = 16 * arch.params.page_size
+        total = sum(ph.values())
+        assert total == pytest.approx(arch.params.cma_time(n, 1), rel=0.05)
+
+    def test_relative_throughput_baseline(self, arch):
+        # throughput of c readers relative to 1: at c=1 it is exactly 1
+        assert microbench.relative_throughput(arch, 1, 65536) == pytest.approx(1.0)

@@ -1,0 +1,203 @@
+"""Tests for the analytic cost model: formula structure, monotonicity,
+special-case identities, and agreement with the simulator (Fig. 12)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import AnalyticModel, predict
+from repro.core.runner import CollectiveSpec, run_collective
+from repro.machine import get_arch, make_generic
+
+
+@pytest.fixture(scope="module")
+def knl_model():
+    return AnalyticModel(get_arch("knl"))
+
+
+class TestPrimitives:
+    def test_cma_formula(self, knl_model):
+        p = knl_model.p_
+        eta = 10 * 4096
+        t = knl_model.cma(eta, c=4)
+        assert t == pytest.approx(p.alpha + eta * p.beta + p.l_page * p.gamma(4) * 10)
+
+    def test_cma_no_contention_at_c1(self, knl_model):
+        eta = 4096
+        assert knl_model.cma(eta, 1) < knl_model.cma(eta, 2)
+
+    def test_shm_two_copies(self, knl_model):
+        p = knl_model.p_
+        assert knl_model.shm_copy2(p.shm_chunk) == pytest.approx(
+            2 * (p.shm_chunk * p.shm_beta + p.shm_chunk_overhead)
+        )
+
+    def test_sm_terms_logarithmic(self, knl_model):
+        assert knl_model.t_sm_bcast(64) == 2 * knl_model.t_sm_bcast(8)
+
+
+class TestSpecialCaseIdentities:
+    """Throttled with k=1 / k=p-1 must equal the boundary algorithms'
+    transfer terms (the paper calls them special cases)."""
+
+    def test_throttled_k1_matches_sequential_transfers(self, knl_model):
+        p, eta = 16, 1 << 20
+        thr = knl_model.scatter_throttled(p, eta, k=1)
+        seq = knl_model.scatter_sequential_write(p, eta, in_place=True)
+        # identical (p-1) uncontended transfers; only sm-term bookkeeping differs
+        assert thr == pytest.approx(seq, rel=0.02)
+
+    def test_throttled_kmax_matches_parallel(self, knl_model):
+        p, eta = 16, 1 << 20
+        thr = knl_model.scatter_throttled(p, eta, k=p - 1)
+        par = knl_model.scatter_parallel_read(p, eta)
+        assert thr == pytest.approx(par, rel=0.02)
+
+    def test_gather_mirrors_scatter(self, knl_model):
+        p, eta = 32, 65536
+        assert knl_model.gather_throttled(p, eta, 4) == knl_model.scatter_throttled(
+            p, eta, 4
+        )
+
+
+class TestShapes:
+    def test_throttled_has_interior_optimum_on_knl(self, knl_model):
+        """Fig 7(a): neither k=1 nor k=p-1 is optimal for large messages."""
+        p, eta = 64, 1 << 20
+        costs = {k: knl_model.scatter_throttled(p, eta, k) for k in range(1, p)}
+        best = min(costs, key=costs.get)
+        assert 2 <= best <= 16
+
+    def test_power8_prefers_more_concurrency(self):
+        """Fig 7(c): larger pages + spill at 10 push k* toward ~10."""
+        m = AnalyticModel(get_arch("power8"))
+        p, eta = 160, 1 << 20
+        costs = {k: m.scatter_throttled(p, eta, k) for k in range(1, 41)}
+        best = min(costs, key=costs.get)
+        assert 6 <= best <= 12
+
+    def test_bruck_alltoall_loses_large(self, knl_model):
+        p = 64
+        small, large = 256, 1 << 20
+        assert knl_model.alltoall_bruck(p, small) < knl_model.alltoall_pairwise(
+            p, small
+        )
+        assert knl_model.alltoall_bruck(p, large) > knl_model.alltoall_pairwise(
+            p, large
+        )
+
+    def test_scatter_allgather_bcast_wins_large(self, knl_model):
+        p = 64
+        assert knl_model.bcast_scatter_allgather(p, 4 << 20) < knl_model.bcast_knomial(
+            p, 4 << 20, 8
+        )
+        assert knl_model.bcast_scatter_allgather(p, 1024) > knl_model.bcast_knomial(
+            p, 1024, 8
+        )
+
+    def test_rd_allgather_penalty_non_power_of_two(self):
+        m = AnalyticModel(get_arch("broadwell"))
+        eta = 256 * 1024
+        # 28 is not a power of two: RD pays the fold/pull tax vs ring
+        assert m.allgather_recursive_doubling(28, eta) > m.allgather_ring_source(
+            28, eta
+        )
+
+    def test_ring_neighbor_socket_penalty(self):
+        m = AnalyticModel(get_arch("broadwell"))
+        p, eta = 28, 1 << 20
+        t1 = m.allgather_ring_neighbor(p, eta, j=1)
+        t5 = m.allgather_ring_neighbor(p, eta, j=5)
+        assert t1 < t5
+
+    def test_shm_bcast_crossover_on_broadwell(self):
+        """Section VII-F: shm slab wins below ~2MB on Broadwell, CMA above."""
+        m = AnalyticModel(get_arch("broadwell"))
+        p = 28
+
+        def cma_best(eta):
+            return min(
+                m.bcast_knomial(p, eta, 4), m.bcast_scatter_allgather(p, eta)
+            )
+
+        assert m.bcast_shm_slab(p, 64 * 1024) < cma_best(64 * 1024)
+        assert m.bcast_shm_slab(p, 2 << 20) < cma_best(2 << 20)
+        assert m.bcast_shm_slab(p, 8 << 20) > cma_best(8 << 20)
+
+    def test_knomial_beats_shm_slab_on_power8_32k(self):
+        """Section VII-F: on POWER8 the k-nomial read wins from ~32 KiB."""
+        m = AnalyticModel(get_arch("power8"))
+        assert m.bcast_knomial(160, 128 * 1024, 10) < m.bcast_shm_slab(
+            160, 128 * 1024
+        )
+
+
+class TestDispatch:
+    def test_predict_matches_direct_call(self, knl_model):
+        t = knl_model.predict("scatter", "throttled_read", 64, 65536, k=8)
+        assert t == pytest.approx(knl_model.scatter_throttled(64, 65536, 8))
+
+    def test_unknown_algorithm(self, knl_model):
+        with pytest.raises(KeyError):
+            knl_model.predict("scatter", "quantum", 8, 1024)
+
+    def test_module_level_wrapper(self):
+        t = predict(get_arch("knl"), "bcast", "direct_read", 64, 4096)
+        assert t > 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    eta=st.integers(min_value=1024, max_value=1 << 22),
+    p=st.integers(min_value=2, max_value=128),
+)
+def test_property_costs_positive_and_monotone_in_eta(eta, p):
+    m = AnalyticModel(get_arch("knl"))
+    for fn in (
+        m.scatter_parallel_read,
+        m.scatter_sequential_write,
+        m.alltoall_pairwise,
+        m.allgather_ring_source,
+        m.bcast_direct_read,
+        m.bcast_scatter_allgather,
+    ):
+        a = fn(p, eta)
+        b = fn(p, 2 * eta)
+        assert 0 < a < b
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    k1=st.integers(min_value=1, max_value=30),
+    k2=st.integers(min_value=1, max_value=30),
+)
+def test_property_throttled_cost_is_waves_times_wave_cost(k1, k2):
+    m = AnalyticModel(get_arch("knl"))
+    p, eta = 64, 1 << 20
+    for k in (k1, k2):
+        waves = math.ceil((p - 1) / k)
+        expected = m.t_sm_bcast(p) + waves * m.cma(eta, c=k)
+        assert m.scatter_throttled(p, eta, k) == pytest.approx(expected)
+
+
+class TestModelValidation:
+    """Fig 12 in miniature: predicted vs simulated, same order of magnitude
+    and same ranking.  The full sweep lives in the benchmarks."""
+
+    @pytest.mark.parametrize("eta", [64 * 1024, 1 << 20])
+    def test_bcast_prediction_tracks_simulation(self, eta):
+        arch = make_generic(sockets=1, cores_per_socket=16)
+        m = AnalyticModel(arch)
+        sims, preds = {}, {}
+        for alg in ("direct_read", "direct_write", "scatter_allgather"):
+            spec = CollectiveSpec("bcast", alg, arch, procs=16, eta=eta, verify=False)
+            sims[alg] = run_collective(spec).latency_us
+            preds[alg] = m.predict("bcast", alg, 16, eta)
+        for alg in sims:
+            assert preds[alg] == pytest.approx(sims[alg], rel=0.6), alg
+        # ranking of the extremes is preserved
+        assert (sims["direct_write"] > sims["scatter_allgather"]) == (
+            preds["direct_write"] > preds["scatter_allgather"]
+        )

@@ -1,0 +1,208 @@
+"""Tests for the mini-MPI layer: Node/Comm wiring and pt2pt protocols."""
+
+import numpy as np
+import pytest
+
+from repro.machine import make_generic
+from repro.mpi import Comm, Node, p2p_recv, p2p_send, RNDV_THRESHOLD
+
+
+def make_comm(size=4, verify=True, **arch_kw):
+    arch = make_generic(sockets=1, cores_per_socket=max(size, 2), **arch_kw)
+    node = Node(arch, verify=verify)
+    return Comm(node, size)
+
+
+class TestComm:
+    def test_pid_table_is_stable(self):
+        comm = make_comm(4)
+        pids = [comm.pid_of(r) for r in range(4)]
+        assert len(set(pids)) == 4
+        assert pids == [comm.pid_of(r) for r in range(4)]
+
+    def test_each_rank_has_own_space(self):
+        comm = make_comm(3)
+        a = comm.allocate(0, 128)
+        b = comm.allocate(1, 128)
+        assert a.space is not b.space
+
+    def test_placements_match_arch(self):
+        arch = make_generic(sockets=2, cores_per_socket=2)
+        comm = Comm(Node(arch), 4)
+        assert comm.placement_of(0).socket == 0
+        assert comm.placement_of(3).socket == 1
+
+    def test_spawned_rank_has_correct_identity(self):
+        comm = make_comm(4)
+        seen = {}
+
+        def work(ctx):
+            seen[ctx.rank] = (ctx.proc.pid, ctx.proc.socket)
+            return
+            yield  # pragma: no cover
+
+        comm.run_ranks(work)
+        for r in range(4):
+            assert seen[r][0] == comm.pid_of(r)
+
+    def test_min_size(self):
+        with pytest.raises(ValueError):
+            make_comm(0)
+
+    def test_op_counters_advance_in_lockstep(self):
+        comm = make_comm(3)
+        ops = {}
+
+        def work(ctx):
+            ops.setdefault(ctx.rank, []).append(ctx.next_op())
+            ops[ctx.rank].append(ctx.next_op())
+            return
+            yield  # pragma: no cover
+
+        comm.run_ranks(work)
+        assert all(v == [0, 1] for v in ops.values())
+
+
+class TestPt2Pt:
+    @pytest.mark.parametrize("nbytes", [64, 1024, RNDV_THRESHOLD - 1])
+    def test_eager_path_moves_bytes(self, nbytes):
+        comm = make_comm(2)
+        sbuf = comm.allocate(0, nbytes)
+        rbuf = comm.allocate(1, nbytes)
+        sbuf.fill(np.arange(nbytes, dtype=np.uint8) % 251)
+
+        def rank(ctx):
+            if ctx.rank == 0:
+                yield from p2p_send(ctx, 1, "m", sbuf)
+            else:
+                yield from p2p_recv(ctx, 0, "m", rbuf)
+
+        comm.run_ranks(rank)
+        assert np.array_equal(sbuf.data, rbuf.data)
+
+    @pytest.mark.parametrize("nbytes", [RNDV_THRESHOLD, 256 * 1024])
+    def test_rendezvous_path_moves_bytes(self, nbytes):
+        comm = make_comm(2)
+        sbuf = comm.allocate(0, nbytes)
+        rbuf = comm.allocate(1, nbytes)
+        sbuf.fill(np.arange(nbytes, dtype=np.uint8) % 247)
+
+        def rank(ctx):
+            if ctx.rank == 0:
+                yield from p2p_send(ctx, 1, "m", sbuf)
+            else:
+                yield from p2p_recv(ctx, 0, "m", rbuf)
+
+        comm.run_ranks(rank)
+        assert np.array_equal(sbuf.data, rbuf.data)
+        assert comm.node.cma.reads == 1  # single-copy path used
+
+    def test_rendezvous_uses_three_control_messages(self):
+        comm = make_comm(2)
+        n = 64 * 1024
+        sbuf = comm.allocate(0, n)
+        rbuf = comm.allocate(1, n)
+
+        def rank(ctx):
+            if ctx.rank == 0:
+                yield from p2p_send(ctx, 1, "m", sbuf)
+            else:
+                yield from p2p_recv(ctx, 0, "m", rbuf)
+
+        comm.run_ranks(rank)
+        assert comm.shm.ctrl_messages == 3  # RTS + CTS + FIN
+
+    def test_eager_beats_rendezvous_for_tiny(self):
+        """Below the threshold, forcing rendezvous must not be faster."""
+        n = 1024
+
+        def latency(threshold):
+            comm = make_comm(2)
+            sbuf = comm.allocate(0, n)
+            rbuf = comm.allocate(1, n)
+
+            def rank(ctx):
+                if ctx.rank == 0:
+                    yield from p2p_send(ctx, 1, "m", sbuf, threshold=threshold)
+                else:
+                    yield from p2p_recv(ctx, 0, "m", rbuf, threshold=threshold)
+                return ctx.sim.now
+
+            procs = comm.run_ranks(rank)
+            return max(p.result for p in procs)
+
+        assert latency(1 << 20) < latency(1)
+
+    def test_rendezvous_beats_eager_for_large(self):
+        """Above the crossover the single-copy path wins (paper ~16 KiB)."""
+        n = 1 << 20
+
+        def latency(threshold):
+            comm = make_comm(2, verify=False)
+            sbuf = comm.allocate(0, n)
+            rbuf = comm.allocate(1, n)
+
+            def rank(ctx):
+                if ctx.rank == 0:
+                    yield from p2p_send(ctx, 1, "m", sbuf, threshold=threshold)
+                else:
+                    yield from p2p_recv(ctx, 0, "m", rbuf, threshold=threshold)
+                return ctx.sim.now
+
+            procs = comm.run_ranks(rank)
+            return max(p.result for p in procs)
+
+        assert latency(1) < latency(1 << 30)
+
+    def test_offset_and_length(self):
+        comm = make_comm(2)
+        sbuf = comm.allocate(0, 1000)
+        rbuf = comm.allocate(1, 1000)
+        sbuf.fill(np.arange(1000, dtype=np.uint8) % 251)
+
+        def rank(ctx):
+            if ctx.rank == 0:
+                yield from p2p_send(ctx, 1, "m", sbuf, offset=100, nbytes=200)
+            else:
+                yield from p2p_recv(ctx, 0, "m", rbuf, offset=500, nbytes=200)
+
+        comm.run_ranks(rank)
+        assert np.array_equal(rbuf.view(500, 200), sbuf.view(100, 200))
+
+    def test_bidirectional_exchange(self):
+        comm = make_comm(2)
+        n = 32 * 1024
+        bufs = {r: (comm.allocate(r, n), comm.allocate(r, n)) for r in range(2)}
+        for r in range(2):
+            bufs[r][0].fill(r + 1)
+
+        def rank(ctx):
+            me, peer = ctx.rank, 1 - ctx.rank
+            sbuf, rbuf = bufs[me]
+            if me == 0:
+                yield from p2p_send(ctx, peer, ("d", me), sbuf)
+                yield from p2p_recv(ctx, peer, ("d", peer), rbuf)
+            else:
+                yield from p2p_recv(ctx, peer, ("d", peer), rbuf)
+                yield from p2p_send(ctx, peer, ("d", me), sbuf)
+
+        comm.run_ranks(rank)
+        assert (bufs[0][1].data == 2).all()
+        assert (bufs[1][1].data == 1).all()
+
+    def test_memcpy_helper(self):
+        comm = make_comm(2)
+        a = comm.allocate(0, 100)
+        b = comm.allocate(0, 100)
+        a.fill(5)
+
+        def rank(ctx):
+            if ctx.rank == 0:
+                yield from ctx.memcpy(b, 10, a, 0, 50)
+                return ctx.sim.now
+            return
+            yield  # pragma: no cover
+
+        procs = comm.run_ranks(rank)
+        assert (b.view(10, 50) == 5).all()
+        assert procs[0].result == pytest.approx(50 * comm.node.params.memcpy_beta)

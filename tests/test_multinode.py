@@ -1,0 +1,67 @@
+"""Tests for the two-level multi-node designs (Fig. 17)."""
+
+import pytest
+
+from repro.core.baselines import library
+from repro.core.multinode import MultiNodeModel
+from repro.machine import get_arch
+
+
+@pytest.fixture(scope="module")
+def mn():
+    return MultiNodeModel(get_arch("knl"))
+
+
+class TestGather:
+    def test_two_level_beats_flat(self, mn):
+        lib = library("mvapich2")
+        for nodes in (2, 4, 8):
+            flat = mn.gather_single_level(nodes, 64, 65536, lib)
+            two = mn.gather_two_level(nodes, 64, 65536)
+            assert two < flat, nodes
+
+    def test_improvement_grows_with_node_count(self, mn):
+        """The paper's counter-intuitive result: 2x -> 3x -> 5x at 2/4/8
+        nodes, driven by per-message costs the two-level design amortizes."""
+        speedups = [
+            mn.fig17_point(nodes, 64, 65536)["speedup"] for nodes in (2, 4, 8)
+        ]
+        assert speedups[0] < speedups[1] < speedups[2]
+        assert speedups[0] > 1.2
+        assert speedups[2] > 2.0
+
+    def test_pipelined_beats_plain_two_level(self, mn):
+        for nodes in (2, 8):
+            point = mn.fig17_point(nodes, 64, 256 * 1024)
+            assert point["pipelined"] < point["two_level"]
+
+    def test_wire_bytes_dominate_eventually(self, mn):
+        """For huge payloads both designs converge (same bytes cross the
+        wire), so the ratio shrinks with message size."""
+        small = mn.fig17_point(8, 64, 16 * 1024)["speedup"]
+        huge = mn.fig17_point(8, 64, 8 << 20)["speedup"]
+        assert huge < small
+
+    def test_single_node_degenerate(self, mn):
+        lib = library("mvapich2")
+        two = mn.gather_two_level(1, 64, 65536)
+        flat = mn.gather_single_level(1, 64, 65536, lib)
+        # no inter-node traffic: both are just intra-node gathers
+        assert two == pytest.approx(mn.tuner.choose("gather", 65536, 64).predicted_us)
+        assert flat > 0
+
+
+class TestScatter:
+    def test_two_level_beats_flat(self, mn):
+        lib = library("openmpi")
+        for nodes in (2, 4, 8):
+            flat = mn.scatter_single_level(nodes, 64, 65536, lib)
+            two = mn.scatter_two_level(nodes, 64, 65536)
+            assert two < flat
+
+    def test_network_message_cost_components(self, mn):
+        p = mn.arch.params
+        n = 4096
+        assert mn.net_msg(n) == pytest.approx(
+            p.alpha_net + n * p.net_beta + p.t_match
+        )

@@ -1,0 +1,52 @@
+"""Tests for the OSU-style sweep CLI (`python -m repro.osu`)."""
+
+import pytest
+
+from repro.osu import main as _osu_cli
+
+
+def test_proposed_sweep(capsys):
+    assert _osu_cli(["scatter", "--arch", "knl", "--procs", "8",
+                     "--max", "65536"]) == 0
+    out = capsys.readouterr().out
+    assert "throttled" in out or "parallel" in out
+    assert "64K" in out
+    assert out.startswith("# scatter latency")
+
+
+def test_library_impl(capsys):
+    assert _osu_cli(["gather", "--impl", "intelmpi", "--procs", "6",
+                     "--max", "16384"]) == 0
+    out = capsys.readouterr().out
+    assert "binomial_p2p" in out
+
+
+def test_explicit_algorithm_with_params(capsys):
+    assert _osu_cli(["bcast", "--impl", "knomial", "--param", "k=3",
+                     "--procs", "6", "--max", "16384"]) == 0
+    out = capsys.readouterr().out
+    assert "knomial" in out
+
+
+def test_verified_run(capsys):
+    assert _osu_cli(["allreduce", "--impl", "ring", "--procs", "5",
+                     "--min", "2048", "--max", "2048", "--verify"]) == 0
+    out = capsys.readouterr().out
+    assert "verified" in out
+    assert "2K" in out
+
+
+def test_unknown_impl_rejected():
+    with pytest.raises(SystemExit):
+        _osu_cli(["scatter", "--impl", "warpdrive", "--max", "1024"])
+
+
+def test_bad_param_rejected():
+    with pytest.raises(SystemExit):
+        _osu_cli(["bcast", "--impl", "knomial", "--param", "k8",
+                  "--max", "1024"])
+
+
+def test_unknown_collective_rejected():
+    with pytest.raises(SystemExit):
+        _osu_cli(["barrier"])

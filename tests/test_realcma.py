@@ -1,0 +1,96 @@
+"""Tests against the real kernel's CMA syscalls (skipped where forbidden)."""
+
+import ctypes
+import errno
+import os
+
+import pytest
+
+from repro.realcma import (
+    RealCMAError,
+    cma_available,
+    one_to_all_read,
+    process_vm_readv,
+    process_vm_writev,
+)
+from repro.realcma.syscall import iov_from_buffer
+
+needs_cma = pytest.mark.skipif(
+    not cma_available(), reason="process_vm_readv unavailable or ptrace denied"
+)
+
+
+class TestSyscallBindings:
+    @needs_cma
+    def test_self_read(self):
+        """Reading our own memory is always permitted."""
+        src = ctypes.create_string_buffer(b"hello CMA world!")
+        dst = ctypes.create_string_buffer(16)
+        got = process_vm_readv(
+            os.getpid(),
+            [iov_from_buffer(dst)],
+            [(ctypes.addressof(src), 16)],
+        )
+        assert got == 16
+        assert dst.raw == b"hello CMA world!"
+
+    @needs_cma
+    def test_self_write(self):
+        src = ctypes.create_string_buffer(b"0123456789abcdef", 16)
+        dst = ctypes.create_string_buffer(16)
+        got = process_vm_writev(
+            os.getpid(),
+            [iov_from_buffer(src)],
+            [(ctypes.addressof(dst), 16)],
+        )
+        assert got == 16
+        assert dst.raw == src.raw
+
+    @needs_cma
+    def test_multi_iovec_gather(self):
+        a = ctypes.create_string_buffer(b"AAAA")
+        b = ctypes.create_string_buffer(b"BBBB")
+        dst = ctypes.create_string_buffer(8)
+        got = process_vm_readv(
+            os.getpid(),
+            [iov_from_buffer(dst)],
+            [(ctypes.addressof(a), 4), (ctypes.addressof(b), 4)],
+        )
+        assert got == 8
+        assert dst.raw == b"AAAA\x00BBB"[:8] or dst.raw == b"AAAABBBB"
+
+    @needs_cma
+    def test_esrch_for_bogus_pid(self):
+        dst = ctypes.create_string_buffer(8)
+        with pytest.raises(RealCMAError) as exc:
+            process_vm_readv(2 ** 22 - 1, [iov_from_buffer(dst)], [(0x1000, 8)])
+        assert exc.value.errno in (errno.ESRCH, errno.EPERM)
+
+    @needs_cma
+    def test_efault_for_bad_remote_address(self):
+        dst = ctypes.create_string_buffer(8)
+        with pytest.raises(RealCMAError) as exc:
+            process_vm_readv(os.getpid(), [iov_from_buffer(dst)], [(0x10, 8)])
+        assert exc.value.errno == errno.EFAULT
+
+    def test_readonly_buffer_rejected(self):
+        with pytest.raises(ValueError):
+            iov_from_buffer(memoryview(b"const").obj if False else b"const")
+
+
+class TestHarness:
+    @needs_cma
+    def test_one_to_all_moves_correct_bytes(self):
+        res = one_to_all_read(readers=2, nbytes=64 * 1024, iters=3)
+        assert res.verified
+        assert res.mean_latency_us > 0
+        assert res.max_latency_us >= res.mean_latency_us
+
+    @needs_cma
+    def test_one_to_all_scales_runs(self):
+        """Smoke the contention sweep (no latency assertion: host-dependent,
+        CI boxes are too noisy for a reliable trend check)."""
+        for readers in (1, 4):
+            res = one_to_all_read(readers=readers, nbytes=128 * 1024, iters=5)
+            assert res.readers == readers
+            assert res.verified

@@ -1,0 +1,150 @@
+"""Tests for the Reduce/Allreduce extension (the paper's future work).
+
+The reduction operator is uint8 addition mod 256, so the runner verifies
+every algorithm's result bit-for-bit against the true elementwise sum.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.registry import algorithms_for
+from repro.core.runner import CollectiveSpec, run_collective
+from repro.core.tuning import Tuner
+from repro.machine import get_arch, make_generic
+
+SIZES = [2, 3, 4, 5, 8, 13, 16]
+
+
+def run(coll, alg, p=6, eta=4000, root=0, in_place=False, **params):
+    spec = CollectiveSpec(
+        collective=coll,
+        algorithm=alg,
+        arch=make_generic(sockets=1, cores_per_socket=max(p, 2)),
+        procs=p,
+        eta=eta,
+        root=root,
+        in_place=in_place,
+        params=params,
+    )
+    return run_collective(spec)
+
+
+class TestReduce:
+    @pytest.mark.parametrize("p", SIZES)
+    @pytest.mark.parametrize("alg", algorithms_for("reduce"))
+    def test_all_algorithms_verify(self, p, alg):
+        params = {"k": min(2, p - 1)} if alg == "gather_throttled" else {}
+        run("reduce", alg, p=p, **params)
+
+    @pytest.mark.parametrize("alg", algorithms_for("reduce"))
+    @pytest.mark.parametrize("root", [1, 4])
+    def test_nonzero_root(self, alg, root):
+        params = {"k": 3} if alg == "gather_throttled" else {}
+        run("reduce", alg, p=7, root=root, **params)
+
+    @pytest.mark.parametrize("alg", ["gather_throttled", "binomial"])
+    def test_in_place_root(self, alg):
+        params = {"k": 2} if alg == "gather_throttled" else {}
+        run("reduce", alg, p=5, in_place=True, **params)
+
+    def test_tiny_and_non_divisible_sizes(self):
+        run("reduce", "ring_rs", p=8, eta=1)  # chunks mostly empty
+        run("reduce", "ring_rs", p=7, eta=4099)  # non-divisible
+
+    def test_binomial_parallelizes_combines(self):
+        """The tree spreads the combine work: for compute-heavy reductions
+        it beats the root-serial gather design at scale."""
+        p, eta = 16, 256 * 1024
+        tree = run("reduce", "binomial", p=p, eta=eta).latency_us
+        serial = run("reduce", "gather_throttled", p=p, eta=eta, k=4).latency_us
+        assert tree < serial
+
+    def test_ring_rs_spreads_bandwidth_for_large(self):
+        arch = get_arch("knl")
+
+        def lat(alg, **params):
+            spec = CollectiveSpec(
+                "reduce", alg, get_arch("knl"), procs=32, eta=2 << 20,
+                params=params, verify=False,
+            )
+            return run_collective(spec).latency_us
+
+        assert lat("ring_rs") < lat("gather_throttled", k=8)
+        del arch
+
+
+class TestAllreduce:
+    @pytest.mark.parametrize("p", SIZES)
+    @pytest.mark.parametrize("alg", algorithms_for("allreduce"))
+    def test_all_algorithms_verify(self, p, alg):
+        params = {"k": 3} if alg == "reduce_bcast" else {}
+        run("allreduce", alg, p=p, **params)
+
+    def test_non_power_of_two_recursive_doubling(self):
+        for p in (3, 6, 12, 13):
+            run("allreduce", "recursive_doubling", p=p, eta=5000)
+
+    def test_ring_wins_large(self):
+        def lat(alg):
+            spec = CollectiveSpec(
+                "allreduce", alg, get_arch("knl"), procs=32, eta=2 << 20,
+                params={}, verify=False,
+            )
+            return run_collective(spec).latency_us
+
+        assert lat("ring") < lat("recursive_doubling")
+
+    def test_recursive_doubling_wins_small(self):
+        def lat(alg):
+            spec = CollectiveSpec(
+                "allreduce", alg, get_arch("knl"), procs=32, eta=512,
+                params={}, verify=False,
+            )
+            return run_collective(spec).latency_us
+
+        assert lat("recursive_doubling") < lat("ring")
+
+
+class TestReduceTuning:
+    def test_tuner_covers_reduction_family(self):
+        tuner = Tuner(get_arch("knl"))
+        assert tuner.choose("reduce", 1 << 20, 64).algorithm in (
+            "ring_rs",
+            "binomial",
+            "gather_throttled",
+        )
+        small = tuner.choose("allreduce", 1024, 64).algorithm
+        large = tuner.choose("allreduce", 4 << 20, 64).algorithm
+        assert small == "recursive_doubling"
+        assert large == "ring"
+
+    def test_tuned_runs_verify(self):
+        tuner = Tuner(make_generic(sockets=1, cores_per_socket=8))
+        assert tuner.run("reduce", 20_000, 8, verify=True).latency_us > 0
+        assert tuner.run("allreduce", 20_000, 8, verify=True).latency_us > 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    p=st.integers(min_value=2, max_value=13),
+    eta=st.integers(min_value=1, max_value=20_000),
+    root=st.integers(min_value=0, max_value=12),
+    which=st.integers(min_value=0, max_value=2),
+)
+def test_property_reduce_any_shape(p, eta, root, which):
+    alg = ["binomial", "ring_rs", "gather_throttled"][which]
+    params = {"k": min(3, p - 1)} if alg == "gather_throttled" else {}
+    run("reduce", alg, p=p, eta=eta, root=root % p, **params)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    p=st.integers(min_value=2, max_value=12),
+    eta=st.integers(min_value=1, max_value=10_000),
+    which=st.integers(min_value=0, max_value=2),
+)
+def test_property_allreduce_any_shape(p, eta, which):
+    alg = ["ring", "recursive_doubling", "reduce_bcast"][which]
+    params = {"k": 3} if alg == "reduce_bcast" else {}
+    run("allreduce", alg, p=p, eta=eta, **params)

@@ -1,0 +1,123 @@
+"""Tests for the semaphore and the shared-segment eager pool."""
+
+import pytest
+
+from repro.machine import make_generic
+from repro.mpi import Comm, Node, p2p_recv, p2p_send
+from repro.shm import SegmentPool, ShmTransport
+from repro.sim import Acquire, Delay, Release, SimError, Simulator
+from repro.sim.resources import Semaphore
+
+
+class TestSemaphore:
+    def test_capacity_validation(self):
+        with pytest.raises(SimError):
+            Semaphore(Simulator(), 0)
+
+    def test_concurrent_holders_up_to_capacity(self):
+        sim = Simulator()
+        sem = Semaphore(sim, 3, "s")
+        peak = []
+
+        def proc():
+            yield Acquire(sem)
+            peak.append(sem.in_use)
+            yield Delay(1.0)
+            yield Release(sem)
+
+        for _ in range(5):
+            sim.spawn(proc())
+        sim.run()
+        assert max(peak) == 3
+        assert sem.in_use == 0
+        assert sem.max_waiters == 2
+
+    def test_release_past_capacity_fails(self):
+        sim = Simulator()
+        sem = Semaphore(sim, 1, "s")
+
+        def proc():
+            yield Release(sem)
+
+        p = sim.spawn(proc())
+        sim.run()
+        assert p.state == "failed"
+
+    def test_fifo_wakeup(self):
+        sim = Simulator()
+        sem = Semaphore(sim, 1, "s")
+        order = []
+
+        def proc(tag, arrive):
+            yield Delay(arrive)
+            yield Acquire(sem)
+            order.append(tag)
+            yield Delay(5.0)
+            yield Release(sem)
+
+        for i in range(3):
+            sim.spawn(proc(i, i * 0.1))
+        sim.run()
+        assert order == [0, 1, 2]
+
+
+class TestSegmentPool:
+    def test_capacity_accounting(self):
+        sim = Simulator()
+        params = make_generic().params
+        pool = SegmentPool(sim, params, nslots=4)
+        assert pool.bytes_capacity == 4 * params.shm_chunk
+        assert pool.slots_in_use == 0
+
+    def test_exhaustion_serializes_eager_traffic(self):
+        """With a tiny pool, many concurrent eager transfers queue on slots;
+        with a big pool they run concurrently."""
+        n = 8192  # one chunk per message
+
+        def total_time(slots):
+            arch = make_generic(
+                sockets=1, cores_per_socket=16, shm_segment_slots=slots
+            )
+            node = Node(arch, verify=False)
+            comm = Comm(node, 16)
+            bufs = {
+                r: (comm.allocate(r, n), comm.allocate(r, n)) for r in range(16)
+            }
+
+            def rank(ctx):
+                # 8 disjoint pairs, all eager, all at once
+                if ctx.rank % 2 == 0:
+                    yield from p2p_send(
+                        ctx, ctx.rank + 1, "d", bufs[ctx.rank][0],
+                        threshold=1 << 30,
+                    )
+                else:
+                    yield from p2p_recv(
+                        ctx, ctx.rank - 1, "d", bufs[ctx.rank][1],
+                        threshold=1 << 30,
+                    )
+
+            procs = comm.run_ranks(rank)
+            return max(p.finish_time for p in procs), comm.shm.segment
+
+        t_small, seg_small = total_time(slots=1)
+        t_big, seg_big = total_time(slots=64)
+        assert seg_small.peak_waiters > 0  # pool was exhausted
+        assert seg_big.peak_waiters == 0
+        assert t_small > 3 * t_big  # 8 pairs forced through 1 slot
+
+    def test_slots_returned_after_transfer(self):
+        arch = make_generic(sockets=1, cores_per_socket=4)
+        node = Node(arch)
+        comm = Comm(node, 2)
+        a = comm.allocate(0, 30_000)
+        b = comm.allocate(1, 30_000)
+
+        def rank(ctx):
+            if ctx.rank == 0:
+                yield from p2p_send(ctx, 1, "d", a, threshold=1 << 30)
+            else:
+                yield from p2p_recv(ctx, 0, "d", b, threshold=1 << 30)
+
+        comm.run_ranks(rank)
+        assert comm.shm.segment.slots_in_use == 0

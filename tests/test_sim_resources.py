@@ -1,0 +1,153 @@
+"""Unit tests for the FIFO mutex: exclusion, ordering, contender visibility."""
+
+import pytest
+
+from repro.sim import Acquire, Delay, Mutex, Release, SimError, Simulator
+
+
+def test_uncontended_acquire_is_instant():
+    sim = Simulator()
+    lock = Mutex(sim, "l")
+
+    def proc():
+        yield Acquire(lock)
+        t = sim.now
+        yield Release(lock)
+        return t
+
+    p = sim.spawn(proc())
+    sim.run()
+    assert p.result == pytest.approx(0.0)
+
+
+def test_mutual_exclusion():
+    sim = Simulator()
+    lock = Mutex(sim, "l")
+    in_cs = []
+
+    def proc(name):
+        yield Acquire(lock)
+        in_cs.append(name)
+        assert len(in_cs) == 1, "two holders inside the critical section"
+        yield Delay(1.0)
+        in_cs.remove(name)
+        yield Release(lock)
+
+    for i in range(4):
+        sim.spawn(proc(i))
+    sim.run()
+    assert sim.now == pytest.approx(4.0)
+
+
+def test_fifo_grant_order():
+    sim = Simulator()
+    lock = Mutex(sim, "l")
+    grants = []
+
+    def proc(name, arrival):
+        yield Delay(arrival)
+        yield Acquire(lock)
+        grants.append(name)
+        yield Delay(10.0)
+        yield Release(lock)
+
+    sim.spawn(proc("a", 0.0))
+    sim.spawn(proc("b", 1.0))
+    sim.spawn(proc("c", 2.0))
+    sim.run()
+    assert grants == ["a", "b", "c"]
+
+
+def test_contender_count_visible_to_holder():
+    sim = Simulator()
+    lock = Mutex(sim, "l")
+    seen = []
+
+    def proc():
+        yield Acquire(lock)
+        seen.append(lock.n_contenders)
+        yield Delay(1.0)
+        yield Release(lock)
+
+    for _ in range(5):
+        sim.spawn(proc())
+    sim.run()
+    # first holder sees all 5 (itself + 4 waiters), last sees only itself
+    assert seen[0] == 5
+    assert seen[-1] == 1
+    assert seen == sorted(seen, reverse=True)
+
+
+def test_contention_profile_by_socket():
+    sim = Simulator()
+    lock = Mutex(sim, "l")
+    profile = {}
+
+    def proc(socket, delay, record):
+        yield Delay(delay)
+        yield Acquire(lock)
+        if record:
+            # hold long enough for every other contender to queue up
+            yield Delay(1.0)
+            profile["p"] = lock.contention_profile(socket)
+            yield Delay(4.0)
+        yield Release(lock)
+
+    # holder on socket 0; two waiters on socket 0, one on socket 1
+    for i, sock in enumerate([0, 0, 0, 1]):
+        p = sim.spawn(proc(sock, i * 0.1, record=(i == 0)))
+        p.socket = sock
+    sim.run()
+    same, other = profile["p"]
+    assert (same, other) == (3, 1)
+
+
+def test_release_by_non_holder_fails():
+    sim = Simulator()
+    lock = Mutex(sim, "l")
+
+    def a():
+        yield Acquire(lock)
+        yield Delay(10.0)
+        yield Release(lock)
+
+    def b():
+        yield Delay(1.0)
+        yield Release(lock)
+
+    sim.spawn(a())
+    pb = sim.spawn(b())
+    sim.run()
+    assert pb.state == "failed"
+    assert isinstance(pb.error, SimError)
+
+
+def test_reacquire_while_holding_fails():
+    sim = Simulator()
+    lock = Mutex(sim, "l")
+
+    def proc():
+        yield Acquire(lock)
+        yield Acquire(lock)
+
+    p = sim.spawn(proc())
+    sim.run()
+    assert p.state == "failed"
+
+
+def test_wait_statistics():
+    sim = Simulator()
+    lock = Mutex(sim, "l")
+
+    def proc():
+        yield Acquire(lock)
+        yield Delay(2.0)
+        yield Release(lock)
+
+    for _ in range(3):
+        sim.spawn(proc())
+    sim.run()
+    assert lock.acquisitions == 3
+    # second waits 2, third waits 4
+    assert lock.total_wait_us == pytest.approx(6.0)
+    assert lock.max_contenders == 3
