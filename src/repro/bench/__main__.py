@@ -33,6 +33,23 @@ def main(argv=None) -> int:
         help="use the paper's full sweep axes (slower)",
     )
     parser.add_argument("--list", action="store_true", help="list experiment ids")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="sweep points in N processes (default: REPRO_EXEC_WORKERS or serial)",
+    )
+    parser.add_argument(
+        "--cache",
+        action="store_true",
+        help="reuse/store per-point results in the on-disk cache "
+             "(REPRO_CACHE_DIR or ~/.cache/repro-exec)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache directory (implies --cache)",
+    )
     args = parser.parse_args(argv)
 
     if args.list or not args.experiment:
@@ -41,10 +58,13 @@ def main(argv=None) -> int:
             print(f"  {eid}")
         return 0
 
+    cache = args.cache_dir if args.cache_dir else (True if args.cache else None)
     ids = experiment_ids() if args.experiment == "all" else [args.experiment]
     for eid in ids:
         t0 = time.time()
-        exp = run_experiment(eid, quick=not args.full)
+        exp = run_experiment(
+            eid, quick=not args.full, workers=args.workers, cache=cache
+        )
         print(exp.render())
         print(f"\n[{eid} regenerated in {time.time() - t0:.1f}s]\n")
     return 0

@@ -12,17 +12,21 @@ Experiment ids match DESIGN.md's per-experiment index: ``fig02``..``fig18``,
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Optional
 
 from repro.bench import microbench
-from repro.bench.report import Series, Table, format_bytes
+from repro.bench.report import Series, Table, format_bytes, sweep_summary
 from repro.core import fitting
 from repro.core.baselines import LIBRARY_NAMES, library
 from repro.core.model import AnalyticModel
 from repro.core.multinode import MultiNodeModel
-from repro.core.runner import CollectiveSpec, run_collective
+from repro.core.runner import CollectiveSpec
 from repro.core.tuning import Tuner
+from repro.exec import context as exec_context
+from repro.exec.sweep import cached_call, run_specs, sweep_microbench
+from repro.exec.sweep import run_collective as run_point
 from repro.machine import ARCH_NAMES, get_arch
 
 __all__ = ["Experiment", "CATALOGUE", "run_experiment", "experiment_ids"]
@@ -36,10 +40,14 @@ class Experiment:
     title: str
     tables: list[Table] = field(default_factory=list)
     data: dict = field(default_factory=dict)
+    #: how the sweep executed (points, cache hits, workers, wall time)
+    stats: Optional[exec_context.SweepStats] = None
 
     def render(self) -> str:
         parts = [f"### {self.id}: {self.title}"]
         parts += [t.render() for t in self.tables]
+        if self.stats is not None and self.stats.points_total:
+            parts.append(sweep_summary(self.stats))
         return "\n\n".join(parts)
 
 
@@ -58,7 +66,7 @@ def _sim_latency(coll, alg, arch, p, eta, params=None) -> float:
     spec = CollectiveSpec(
         coll, alg, arch, procs=p, eta=eta, params=params or {}, verify=False
     )
-    return run_collective(spec).latency_us
+    return run_point(spec).latency_us
 
 
 # ---------------------------------------------------------------------------
@@ -73,22 +81,26 @@ def fig02(quick: bool = True) -> Experiment:
     sizes = _sizes(quick, 4096, 1 << 20)
     exp = Experiment("fig02", "CMA read latency vs access pattern (KNL)")
     data: dict = {}
-    patterns = {
-        "all-to-all (disjoint pairs)": lambda c, n: microbench.all_to_all_latency(
-            get_arch("knl"), c, n
+    patterns = [
+        ("all-to-all (disjoint pairs)", "all_to_all_latency", {}),
+        ("one-to-all (same buffer)", "one_to_all_latency", {"pattern": "same-buffer"}),
+        (
+            "one-to-all (different buffers)",
+            "one_to_all_latency",
+            {"pattern": "different-buffers"},
         ),
-        "one-to-all (same buffer)": lambda c, n: microbench.one_to_all_latency(
-            get_arch("knl"), c, n, pattern="same-buffer"
-        ),
-        "one-to-all (different buffers)": lambda c, n: microbench.one_to_all_latency(
-            get_arch("knl"), c, n, pattern="different-buffers"
-        ),
-    }
-    for pname, fn in patterns.items():
+    ]
+    for pname, fname, kw in patterns:
+        vals = iter(
+            sweep_microbench(
+                fname,
+                [(get_arch("knl"), (c, n), kw) for n in sizes for c in readers],
+            )
+        )
         s = Series(f"{pname}", "msg", [f"{c}r" for c in readers])
         grid = {}
         for n in sizes:
-            row = {f"{c}r": fn(c, n) for c in readers}
+            row = {f"{c}r": next(vals) for c in readers}
             grid[n] = row
             s.add_point(n, row)
         data[pname] = grid
@@ -106,13 +118,16 @@ def fig03(quick: bool = True) -> Experiment:
         arch = get_arch(name)
         top = min(arch.default_procs - 1, 64)
         readers = [1, 4, 16, top] if quick else [1, 2, 4, 8, 16, 32, top]
+        vals = iter(
+            sweep_microbench(
+                "one_to_all_latency",
+                [(get_arch(name), (c, n), {}) for n in sizes for c in readers],
+            )
+        )
         s = Series(f"{name}", "msg", [f"{c}r" for c in readers])
         grid = {}
         for n in sizes:
-            row = {
-                f"{c}r": microbench.one_to_all_latency(get_arch(name), c, n)
-                for c in readers
-            }
+            row = {f"{c}r": next(vals) for c in readers}
             grid[n] = row
             s.add_point(n, row)
         data[name] = {"readers": readers, "grid": grid}
@@ -227,13 +242,16 @@ def fig06(quick: bool = True) -> Experiment:
         top = min(arch.default_procs - 1, 64)
         readers = [2, 4, 8, 16] if quick else [2, 4, 8, 16, 32, top]
         readers = [c for c in readers if c <= top] + ([top] if top not in readers else [])
+        vals = iter(
+            sweep_microbench(
+                "relative_throughput",
+                [(get_arch(name), (c, n), {}) for n in sizes for c in readers],
+            )
+        )
         s = Series(f"{name}", "msg", [f"{c}r" for c in readers])
         grid = {}
         for n in sizes:
-            row = {
-                f"{c}r": microbench.relative_throughput(get_arch(name), c, n)
-                for c in readers
-            }
+            row = {f"{c}r": next(vals) for c in readers}
             grid[n] = row
             s.add_point(n, row)
         data[name] = {"readers": readers, "grid": grid}
@@ -267,15 +285,30 @@ def _algo_figure(
     exp = Experiment(exp_id, title)
     sizes = _sizes(quick, lo, hi)
     data = {}
+    # One flat spec list across (arch x size x variant) so the whole figure
+    # fans out over the executor at once.
+    per_arch = {}
+    specs, where = [], []
     for name in archs:
         p = _procs_for(name, quick)
         vs = variants(name, p)
+        per_arch[name] = (p, vs)
+        for eta in sizes:
+            for label, alg, params in vs:
+                specs.append(
+                    CollectiveSpec(
+                        collective, alg, get_arch(name),
+                        procs=p, eta=eta, params=params, verify=False,
+                    )
+                )
+                where.append((name, eta, label))
+    lats = {w: r.latency_us for w, r in zip(where, run_specs(specs))}
+    for name in archs:
+        p, vs = per_arch[name]
         s = Series(f"{name}, {p} processes", "msg", [v[0] for v in vs])
         grid = {}
         for eta in sizes:
-            row = {}
-            for label, alg, params in vs:
-                row[label] = _sim_latency(collective, alg, get_arch(name), p, eta, params)
+            row = {label: lats[(name, eta, label)] for label, _, _ in vs}
             grid[eta] = row
             s.add_point(eta, row)
         data[name] = {"procs": p, "grid": grid, "variants": [v[0] for v in vs]}
@@ -433,13 +466,19 @@ def _lib_figure(
     for name in archs:
         p = _procs_for(name, quick)
         tuner = Tuner.calibrated(get_arch(name))
+        specs, where = [], []
+        for eta in sizes:
+            specs.append(tuner.spec(collective, eta, p))
+            where.append((eta, "proposed"))
+            for lib in LIBRARY_NAMES:
+                specs.append(library(lib).spec(collective, get_arch(name), eta, p))
+                where.append((eta, lib))
+        lats = {w: r.latency_us for w, r in zip(where, run_specs(specs))}
         cols = ["proposed"] + list(LIBRARY_NAMES)
         s = Series(f"{name}, {p} processes", "msg", cols)
         grid = {}
         for eta in sizes:
-            row = {"proposed": tuner.run(collective, eta, p).latency_us}
-            for lib in LIBRARY_NAMES:
-                row[lib] = library(lib).run(collective, get_arch(name), eta, p).latency_us
+            row = {col: lats[(eta, col)] for col in cols}
             grid[eta] = row
             s.add_point(eta, row)
         data[name] = {"procs": p, "grid": grid}
@@ -536,8 +575,16 @@ def fig17(quick: bool = True) -> Experiment:
     )
     sim_data = {}
     for nodes in (2, 4, 8):
-        flat = flat_gather(Cluster(af, nodes, sim_ppn), 16 * 1024)
-        two = two_level_gather(Cluster(af, nodes, sim_ppn), 16 * 1024)
+        flat = cached_call(
+            "figures.fig17_des",
+            ("flat", nodes, sim_ppn, 16 * 1024),
+            lambda: flat_gather(Cluster(af, nodes, sim_ppn), 16 * 1024),
+        )
+        two = cached_call(
+            "figures.fig17_des",
+            ("two_level", nodes, sim_ppn, 16 * 1024),
+            lambda: two_level_gather(Cluster(af, nodes, sim_ppn), 16 * 1024),
+        )
         ratio = flat.latency_us / two.latency_us
         sim_data[nodes] = ratio
         sim_table.add(nodes, f"{flat.latency_us:.0f}", f"{two.latency_us:.0f}",
@@ -551,7 +598,10 @@ _TABLE_COLLECTIVES = ("bcast", "scatter", "gather", "allgather", "alltoall")
 
 
 def _speedup_grid(quick: bool, largest_only: bool) -> dict:
-    out = {}
+    # Enumerate the full (arch x collective x size x impl) grid up front
+    # and fan it out in one sweep; ratios are assembled afterwards.
+    axes: dict[tuple[str, str], list[int]] = {}
+    specs, where = [], []
     for name in ARCH_NAMES:
         p = _procs_for(name, quick)
         arch = get_arch(name)
@@ -562,13 +612,23 @@ def _speedup_grid(quick: bool, largest_only: bool) -> dict:
             if coll in ("alltoall", "allgather"):
                 top = min(hi, 512 * 1024 if quick else 1 << 20)
             sizes = [top] if largest_only else _sizes(quick, 16 * 1024, top)
+            axes[(name, coll)] = sizes
+            for eta in sizes:
+                specs.append(tuner.spec(coll, eta, p))
+                where.append((name, coll, eta, "ours"))
+                for lib in LIBRARY_NAMES:
+                    specs.append(library(lib).spec(coll, get_arch(name), eta, p))
+                    where.append((name, coll, eta, lib))
+    lats = {w: r.latency_us for w, r in zip(where, run_specs(specs))}
+    out = {}
+    for name in ARCH_NAMES:
+        for coll in _TABLE_COLLECTIVES:
+            sizes = axes[(name, coll)]
             for lib in LIBRARY_NAMES:
                 best = 0.0
                 at = None
                 for eta in sizes:
-                    ours = tuner.run(coll, eta, p).latency_us
-                    theirs = library(lib).run(coll, get_arch(name), eta, p).latency_us
-                    ratio = theirs / ours
+                    ratio = lats[(name, coll, eta, lib)] / lats[(name, coll, eta, "ours")]
                     if ratio > best:
                         best, at = ratio, eta
                 out[(name, coll, lib)] = (best, at)
@@ -807,13 +867,20 @@ def ext_mechanisms(quick: bool = True) -> Experiment:
         # library would pay it on the message path
         return max(p.finish_time for p in procs)
 
+    def one_to_all_cached(mechanism: str, nbytes: int) -> float:
+        return cached_call(
+            "figures.ext_mechanisms",
+            ("knl", readers, mechanism, nbytes),
+            lambda: one_to_all(mechanism, nbytes),
+        )
+
     s = Series(f"one-to-all, {readers} readers", "msg", ["CMA", "KNEM", "LiMIC"])
     grid = {}
     for n in sizes:
         row = {
-            "CMA": one_to_all("cma", n),
-            "KNEM": one_to_all("knem", n),
-            "LiMIC": one_to_all("limic", n),
+            "CMA": one_to_all_cached("cma", n),
+            "KNEM": one_to_all_cached("knem", n),
+            "LiMIC": one_to_all_cached("limic", n),
         }
         grid[n] = row
         s.add_point(n, row)
@@ -897,11 +964,34 @@ def experiment_ids() -> list[str]:
     return sorted(CATALOGUE)
 
 
-def run_experiment(exp_id: str, quick: bool = True) -> Experiment:
+def run_experiment(
+    exp_id: str,
+    quick: bool = True,
+    workers: int | str | None = None,
+    cache=None,
+) -> Experiment:
+    """Regenerate one artifact, optionally parallel and/or cached.
+
+    ``workers``/``cache`` default to the enclosing
+    :class:`~repro.exec.context.ExecContext` (if any), then to the
+    ``REPRO_EXEC_WORKERS`` / ``REPRO_CACHE_DIR`` environment variables,
+    then to serial and uncached — i.e. with nothing configured this
+    behaves exactly like the original serial generator.  The returned
+    :class:`Experiment` carries per-sweep stats in ``.stats``.
+    """
     try:
         fn = CATALOGUE[exp_id]
     except KeyError:
         raise KeyError(
             f"unknown experiment {exp_id!r}; known: {experiment_ids()}"
         ) from None
-    return fn(quick)
+    parent = exec_context.current()
+    ctx = exec_context.from_env(workers=workers, cache=cache)
+    t0 = time.perf_counter()
+    with exec_context.use_context(ctx):
+        exp = fn(quick)
+    ctx.stats.wall_s = time.perf_counter() - t0
+    exp.stats = ctx.stats
+    if parent is not None:
+        parent.stats.merge(ctx.stats)
+    return exp

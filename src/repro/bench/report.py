@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Optional, Sequence
 
-__all__ = ["format_bytes", "format_us", "Table", "Series"]
+__all__ = ["format_bytes", "format_us", "sweep_summary", "Table", "Series"]
 
 
 def format_bytes(n: int) -> str:
@@ -20,6 +20,17 @@ def format_bytes(n: int) -> str:
         if n >= div:
             return f"{n / div:.1f}{unit}"
     return str(n)
+
+
+def sweep_summary(stats) -> str:
+    """One-line execution summary for a sweep (duck-typed
+    :class:`~repro.exec.context.SweepStats`): how many points actually ran
+    vs. came from the cache, on how many workers."""
+    return (
+        f"[sweep: {stats.points_total} points, {stats.points_run} run, "
+        f"{stats.cache_hits} cache hits, {stats.workers} worker(s), "
+        f"{stats.wall_s:.1f}s]"
+    )
 
 
 def format_us(t: float) -> str:

@@ -26,6 +26,7 @@ import numpy as np
 from scipy.optimize import curve_fit
 
 from repro.bench import microbench
+from repro.exec.sweep import cached_call, sweep_microbench
 from repro.machine.arch import Architecture
 
 __all__ = [
@@ -135,12 +136,31 @@ def measure_gamma(
             | {c for c in (8, 12, 16, 24, 32, 48, 64) if c <= top}
             | {top}
         )
+    # Fan the (readers, pages) grid out through the sweep executor: each
+    # point builds a fresh node, so the measured times are bit-identical
+    # to the serial loop this used to be.
+    uniq: list[tuple[int, int]] = []
+    seen: set[tuple[int, int]] = set()
+    for pages in page_counts:
+        for c in (1, *reader_counts):
+            if (c, pages) not in seen:
+                seen.add((c, pages))
+                uniq.append((c, pages))
+    times = dict(
+        zip(
+            uniq,
+            sweep_microbench(
+                "lock_pin_per_page", [(arch, (c, pages), {}) for c, pages in uniq]
+            ),
+        )
+    )
     samples = []
     for pages in page_counts:
-        base = microbench.lock_pin_per_page(arch, 1, pages)
+        base = times[(1, pages)]
         for c in reader_counts:
-            t = base if c == 1 else microbench.lock_pin_per_page(arch, c, pages)
-            samples.append(GammaSample(pages=pages, readers=c, gamma=t / base))
+            samples.append(
+                GammaSample(pages=pages, readers=c, gamma=times[(c, pages)] / base)
+            )
     return samples
 
 
@@ -154,6 +174,16 @@ def fit_gamma(
     """
     if not samples:
         raise ValueError("no gamma samples to fit")
+    return cached_call(
+        "fitting.fit_gamma",
+        (tuple(samples), knee),
+        lambda: _fit_gamma_fresh(samples, knee),
+    )
+
+
+def _fit_gamma_fresh(
+    samples: Sequence[GammaSample], knee: Optional[int]
+) -> GammaFit:
     c = np.array([s.readers for s in samples], dtype=float)
     y = np.array([s.gamma for s in samples], dtype=float)
 
@@ -210,7 +240,28 @@ def fit_architecture(
     page_counts: Sequence[int] = (10, 50, 100),
     reader_counts: Optional[Sequence[int]] = None,
 ) -> FittedArchitecture:
-    """The full Table IV pipeline for one architecture."""
+    """The full Table IV pipeline for one architecture.
+
+    The whole pipeline's output is memoised in the active exec context's
+    cache (key: arch + axes + code-version salt), so repeated
+    ``Tuner.calibrated`` constructions across figures become lookups.
+    """
+    return cached_call(
+        "fitting.fit_architecture",
+        (
+            arch,
+            tuple(page_counts),
+            tuple(reader_counts) if reader_counts is not None else None,
+        ),
+        lambda: _fit_architecture_fresh(arch, page_counts, reader_counts),
+    )
+
+
+def _fit_architecture_fresh(
+    arch: Architecture,
+    page_counts: Sequence[int],
+    reader_counts: Optional[Sequence[int]],
+) -> FittedArchitecture:
     base = derive_base_params(arch)
     samples = measure_gamma(arch, page_counts, reader_counts)
     knee = None

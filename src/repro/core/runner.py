@@ -87,6 +87,11 @@ class CollectiveResult:
 
     @property
     def mean_us(self) -> float:
+        if not self.per_rank_us:
+            raise ValueError(
+                "mean_us is undefined: this CollectiveResult has no per-rank "
+                "timings (per_rank_us is empty)"
+            )
         return sum(self.per_rank_us) / len(self.per_rank_us)
 
 

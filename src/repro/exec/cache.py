@@ -1,0 +1,98 @@
+"""Persistent content-addressed cache for sweep points and NLLS fits.
+
+Entries live under one directory (``REPRO_CACHE_DIR`` or
+``~/.cache/repro-exec``), one pickle per key, written atomically.  The key
+already embeds a code-version salt (:data:`CACHE_VERSION`), and every
+entry re-states the salt it was written under, so a stale or corrupted
+entry is never served — :meth:`ResultCache.get` reports a miss, deletes
+the file, and the caller recomputes.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Optional, Tuple
+
+from repro.exec.keying import digest
+
+__all__ = ["ResultCache", "CACHE_VERSION", "ENV_CACHE_DIR", "default_cache_dir"]
+
+#: Code-version salt baked into every key and entry.  Bump whenever the
+#: simulator, model, or fitting pipeline changes in a way that alters
+#: results: old entries then silently miss instead of serving stale data.
+CACHE_VERSION = "repro-exec-v1"
+
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get(ENV_CACHE_DIR, "").strip()
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-exec"
+
+
+class ResultCache:
+    """On-disk result cache; every operation is best-effort and atomic.
+
+    ``get`` never raises on a bad entry and ``put`` never fails a sweep
+    over an unwritable directory — the cache only ever turns recomputation
+    into a lookup, it cannot change results.
+    """
+
+    def __init__(self, root: Optional[os.PathLike | str] = None,
+                 salt: str = CACHE_VERSION):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.salt = salt
+
+    def key_for(self, kind: str, payload: Any) -> str:
+        return digest(kind, payload, self.salt)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """Return ``(hit, value)``; corrupted/stale entries count as misses."""
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as f:
+                entry = pickle.load(f)
+            if isinstance(entry, dict) and entry.get("salt") == self.salt \
+                    and "value" in entry:
+                return True, entry["value"]
+        except FileNotFoundError:
+            return False, None
+        except Exception:
+            pass
+        # Corrupted bytes or a different code-version salt: drop the entry
+        # so the recomputed value replaces it.
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return False, None
+
+    def put(self, key: str, value: Any) -> None:
+        path = self.path_for(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
+            try:
+                with os.fdopen(fd, "wb") as f:
+                    pickle.dump(
+                        {"salt": self.salt, "value": value},
+                        f,
+                        protocol=pickle.HIGHEST_PROTOCOL,
+                    )
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except (OSError, pickle.PicklingError):
+            pass

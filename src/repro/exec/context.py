@@ -1,0 +1,172 @@
+"""Per-sweep execution context: worker count, cache handle, and stats.
+
+A context is pushed around a sweep (``with use_context(ExecContext(...))``)
+and every sweep point executed underneath it — collective runs, microbench
+points, NLLS fits — consults its cache and its process pool.  With no
+active context everything runs serial and uncached, exactly as the seed
+code did.
+
+Environment knobs (both honoured only where no explicit argument wins):
+
+* ``REPRO_EXEC_WORKERS`` — pool size; ``1`` (or unset) means serial,
+  ``auto`` means one worker per CPU.
+* ``REPRO_CACHE_DIR`` — enables the on-disk cache at that directory for
+  ``run_experiment`` / the CLIs.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Optional, Union
+
+from repro.exec.cache import ENV_CACHE_DIR, ResultCache
+
+__all__ = [
+    "ENV_WORKERS",
+    "SweepStats",
+    "ExecContext",
+    "current",
+    "use_context",
+    "from_env",
+    "resolve_workers",
+]
+
+ENV_WORKERS = "REPRO_EXEC_WORKERS"
+
+
+@dataclass
+class SweepStats:
+    """What one sweep actually did — surfaced by ``bench.report``."""
+
+    points_total: int = 0
+    points_run: int = 0
+    cache_hits: int = 0
+    workers: int = 1
+    wall_s: float = 0.0
+
+    def merge(self, other: "SweepStats") -> None:
+        """Fold a child sweep's counters into this one (wall time excluded:
+        each context times its own span)."""
+        self.points_total += other.points_total
+        self.points_run += other.points_run
+        self.cache_hits += other.cache_hits
+
+    def describe(self) -> str:
+        return (
+            f"{self.points_total} points: {self.points_run} run, "
+            f"{self.cache_hits} cache hits, workers={self.workers}, "
+            f"wall={self.wall_s:.1f}s"
+        )
+
+
+def resolve_workers(workers: Union[int, str, None]) -> int:
+    """Explicit argument > ``REPRO_EXEC_WORKERS`` > serial."""
+    if workers is None:
+        raw = os.environ.get(ENV_WORKERS, "").strip()
+        if not raw:
+            return 1
+        workers = raw
+    if isinstance(workers, str):
+        if workers.lower() == "auto":
+            return max(os.cpu_count() or 1, 1)
+        try:
+            workers = int(workers)
+        except ValueError:
+            raise ValueError(
+                f"invalid worker count {workers!r} (set --workers or "
+                f"{ENV_WORKERS} to an integer or 'auto')"
+            ) from None
+    return max(int(workers), 1)
+
+
+def _resolve_cache(cache) -> Optional[ResultCache]:
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        return ResultCache()
+    if isinstance(cache, (str, os.PathLike)):
+        return ResultCache(cache)
+    return cache
+
+
+class ExecContext:
+    """One sweep's execution policy plus its accumulated stats.
+
+    ``cache`` accepts ``None``/``False`` (off), ``True`` (default
+    directory), a path, or a :class:`ResultCache`.  The context lazily
+    owns one process pool shared by every sweep run underneath it;
+    ``use_context`` shuts it down on exit.
+    """
+
+    def __init__(self, workers: Union[int, str, None] = None, cache=None):
+        self.workers = resolve_workers(workers)
+        self.cache = _resolve_cache(cache)
+        self.stats = SweepStats(workers=self.workers)
+        self._executor = None  # None = not created, False = unavailable
+        self._executor_owner: "ExecContext" = self
+
+    def executor(self):
+        """The shared pool, or ``None`` when serial/unavailable."""
+        if self._executor_owner is not self:
+            return self._executor_owner.executor()
+        if self.workers <= 1 or self._executor is False:
+            return None
+        if self._executor is None:
+            from repro.exec.pool import make_executor
+
+            self._executor = make_executor(self.workers)
+            if self._executor is None:
+                self._executor = False
+                return None
+        return self._executor
+
+    def close(self) -> None:
+        if self._executor_owner is self and self._executor not in (None, False):
+            self._executor.shutdown()
+        self._executor = None
+
+
+_STACK: list[ExecContext] = []
+
+
+def current() -> Optional[ExecContext]:
+    return _STACK[-1] if _STACK else None
+
+
+@contextmanager
+def use_context(ctx: ExecContext) -> Iterator[ExecContext]:
+    _STACK.append(ctx)
+    try:
+        yield ctx
+    finally:
+        _STACK.pop()
+        ctx.close()
+
+
+def from_env(workers=None, cache=None) -> ExecContext:
+    """Build a context from explicit args, the enclosing context, then env.
+
+    Used by ``run_experiment`` and the CLIs so that an outer context (e.g.
+    the benchmark harness's) keeps control of workers/cache while each
+    experiment still gets its own stats.
+    """
+    parent = current()
+    if workers is None:
+        w: Union[int, str, None] = parent.workers if parent is not None else None
+    else:
+        w = workers
+    if cache is None:
+        if parent is not None:
+            c = parent.cache
+        else:
+            c = ResultCache() if os.environ.get(ENV_CACHE_DIR, "").strip() else None
+    else:
+        c = cache
+    ctx = ExecContext(workers=w, cache=c)
+    if parent is not None and parent.workers == ctx.workers:
+        # Nested sweeps (run_experiment under a harness context) share the
+        # parent's pool rather than paying start-up again.
+        ctx._executor_owner = parent
+    return ctx

@@ -1,0 +1,72 @@
+"""Content-addressed cache keys: canonical, restart-stable fingerprints.
+
+A key must change iff something that can change the computed value
+changes: any :class:`~repro.core.runner.CollectiveSpec` field, any
+``Architecture`` / ``ModelParams`` / ``Topology`` field, any extra
+argument, or the code-version salt.  Keys are therefore the SHA-256 of a
+canonical JSON rendering of the payload — never Python's process-seeded
+``hash()``, so the same payload produces the same key across process
+restarts and across ``PYTHONHASHSEED`` values.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any
+
+import numpy as np
+
+__all__ = ["canonical", "digest"]
+
+
+def canonical(obj: Any) -> Any:
+    """Reduce ``obj`` to JSON-serialisable primitives, deterministically.
+
+    Dataclasses carry their qualified type name so two different types with
+    the same field values never collide; dict entries are sorted by the
+    canonical rendering of their key so insertion order never leaks into
+    the fingerprint.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return float(obj)
+    if isinstance(obj, np.generic):
+        return canonical(obj.item())
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        cls = type(obj)
+        out: dict[str, Any] = {
+            "__dataclass__": f"{cls.__module__}.{cls.__qualname__}"
+        }
+        for f in dataclasses.fields(obj):
+            out[f.name] = canonical(getattr(obj, f.name))
+        return out
+    if isinstance(obj, dict):
+        items = [[canonical(k), canonical(v)] for k, v in obj.items()]
+        items.sort(key=lambda kv: json.dumps(kv[0], sort_keys=True))
+        return {"__dict__": items}
+    if isinstance(obj, (list, tuple)):
+        return [canonical(x) for x in obj]
+    if isinstance(obj, (set, frozenset)):
+        members = [canonical(x) for x in obj]
+        members.sort(key=lambda m: json.dumps(m, sort_keys=True))
+        return {"__set__": members}
+    if isinstance(obj, bytes):
+        return {"__bytes__": obj.hex()}
+    if isinstance(obj, np.ndarray):
+        return {"__ndarray__": [list(obj.shape), canonical(obj.tolist())]}
+    raise TypeError(
+        f"cannot build a stable cache key from {type(obj).__qualname__}: {obj!r}"
+    )
+
+
+def digest(kind: str, payload: Any, salt: str) -> str:
+    """SHA-256 hex digest of (salt, kind, canonical payload)."""
+    blob = json.dumps(
+        [salt, kind, canonical(payload)],
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -1,0 +1,66 @@
+"""Chunked process-pool fan-out with deterministic ordering.
+
+``map_points`` is the only primitive: apply a picklable top-level callable
+to every point and return results in input order (``ProcessPoolExecutor.map``
+preserves ordering regardless of completion order, so a parallel sweep
+assembles exactly the list a serial one would).  The caller may pass a
+long-lived executor (the :class:`~repro.exec.context.ExecContext` owns one
+per sweep session, so consecutive sweeps don't pay pool start-up); without
+one a throwaway pool is created.  Any environment where a pool cannot be
+created or breaks mid-flight falls back to computing the points serially
+in-process — same results, just slower.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = ["map_points", "make_executor"]
+
+
+def _serial(fn: Callable[[T], R], points: List[T]) -> List[R]:
+    return [fn(p) for p in points]
+
+
+def make_executor(workers: int):
+    """Create a process pool, or ``None`` where that's impossible."""
+    if workers <= 1:
+        return None
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+
+        return ProcessPoolExecutor(max_workers=workers)
+    except (ImportError, OSError, PermissionError, NotImplementedError):
+        return None
+
+
+def map_points(
+    fn: Callable[[T], R],
+    points: Iterable[T],
+    workers: int,
+    executor: Optional[object] = None,
+) -> List[R]:
+    points = list(points)
+    if workers <= 1 or len(points) <= 1:
+        return _serial(fn, points)
+    try:
+        from concurrent.futures.process import BrokenProcessPool
+    except ImportError:
+        return _serial(fn, points)
+    own = executor is None
+    if own:
+        executor = make_executor(min(workers, len(points)))
+        if executor is None:
+            return _serial(fn, points)
+    chunksize = max(1, len(points) // (workers * 4))
+    try:
+        return list(executor.map(fn, points, chunksize=chunksize))
+    except (BrokenProcessPool, OSError, PermissionError, NotImplementedError):
+        # Sandboxed/fork-restricted hosts: the sweep still completes.
+        return _serial(fn, points)
+    finally:
+        if own:
+            executor.shutdown()

@@ -1,0 +1,160 @@
+"""The cache-aware sweep engine.
+
+Everything the benchmark harness measures flows through one of three
+entry points:
+
+* :func:`run_specs` / :func:`run_collective` — collective points
+  (:class:`~repro.core.runner.CollectiveSpec`);
+* :func:`sweep_microbench` — raw CMA microbenchmark points
+  (:mod:`repro.bench.microbench` functions);
+* :func:`cached_call` — expensive scalar computations (the NLLS fits in
+  :mod:`repro.core.fitting`).
+
+Each checks the active :class:`~repro.exec.context.ExecContext`'s cache
+first, fans cache misses out over the process pool, stores the computed
+values back, and returns results in input order.  The determinism
+contract — enforced by ``tests/test_exec_differential.py`` — is that the
+returned values are *bit-identical* whether a point was computed serially,
+in a pool worker, or served from a warm cache: every point builds a fresh
+simulated node, so points share no mutable state, and the simulator itself
+is deterministic.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.runner import CollectiveResult, CollectiveSpec
+from repro.core.runner import run_collective as _run_collective_fresh
+from repro.exec import context as _context
+from repro.exec.pool import map_points
+
+__all__ = [
+    "sweep",
+    "run_specs",
+    "run_collective",
+    "sweep_microbench",
+    "microbench_point",
+    "cached_call",
+]
+
+_MISS = object()
+
+
+def sweep(
+    kind: str,
+    runner: Callable[[Any], Any],
+    points: Sequence[Any],
+    payloads: Optional[Sequence[Any]] = None,
+) -> List[Any]:
+    """Run ``runner`` over ``points`` under the active context.
+
+    ``payloads`` (defaults to the points themselves) are what gets
+    fingerprinted for the cache key; ``runner`` must be a picklable
+    top-level callable for the pool path.
+    """
+    ctx = _context.current()
+    cache = ctx.cache if ctx is not None else None
+    workers = ctx.workers if ctx is not None else 1
+    points = list(points)
+    results: List[Any] = [_MISS] * len(points)
+    keys: List[Optional[str]] = [None] * len(points)
+    miss: List[int] = []
+    for i, pt in enumerate(points):
+        if cache is not None:
+            keys[i] = cache.key_for(
+                kind, payloads[i] if payloads is not None else pt
+            )
+            hit, value = cache.get(keys[i])
+            if hit:
+                results[i] = value
+                continue
+        miss.append(i)
+    if miss:
+        executor = ctx.executor() if ctx is not None else None
+        computed = map_points(
+            runner, [points[i] for i in miss], workers, executor=executor
+        )
+        for i, value in zip(miss, computed):
+            results[i] = value
+            if cache is not None:
+                cache.put(keys[i], value)
+    if ctx is not None:
+        ctx.stats.points_total += len(points)
+        ctx.stats.points_run += len(miss)
+        ctx.stats.cache_hits += len(points) - len(miss)
+    return results
+
+
+# -- collective points -------------------------------------------------------
+
+
+def run_specs(specs: Iterable[CollectiveSpec]) -> List[CollectiveResult]:
+    """Run every spec, pooled and cached per the active context."""
+    return sweep("collective", _run_collective_fresh, list(specs))
+
+
+def run_collective(spec: CollectiveSpec) -> CollectiveResult:
+    """Cache-aware single point (a one-element :func:`run_specs`)."""
+    return run_specs([spec])[0]
+
+
+# -- microbenchmark points ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MicrobenchPoint:
+    """One microbench invocation, with arguments normalised by name so the
+    cache key is identical however the call was spelled."""
+
+    fn: str
+    arch: Any
+    kwargs: Tuple[Tuple[str, Any], ...]
+
+
+def microbench_point(fn_name: str, arch, args=(), kwargs=None) -> MicrobenchPoint:
+    import repro.bench.microbench as mb
+
+    target = inspect.unwrap(getattr(mb, fn_name))
+    bound = inspect.signature(target).bind(arch, *args, **(kwargs or {}))
+    bound.apply_defaults()
+    items = {k: v for k, v in bound.arguments.items() if k != "arch"}
+    return MicrobenchPoint(fn_name, arch, tuple(sorted(items.items())))
+
+
+def _exec_microbench(pt: MicrobenchPoint):
+    import repro.bench.microbench as mb
+
+    fn = inspect.unwrap(getattr(mb, pt.fn))
+    return fn(pt.arch, **dict(pt.kwargs))
+
+
+def sweep_microbench(fn_name: str, calls: Sequence[Tuple[Any, tuple, dict]]) -> List[Any]:
+    """Fan microbench points out: ``calls`` is ``(arch, args, kwargs)`` each."""
+    points = [microbench_point(fn_name, a, args, kw) for a, args, kw in calls]
+    return sweep(f"microbench.{fn_name}", _exec_microbench, points)
+
+
+# -- scalar cached computations ----------------------------------------------
+
+
+def cached_call(kind: str, payload: Any, compute: Callable[[], Any]) -> Any:
+    """Memoise one expensive computation in the active context's cache.
+
+    With no context (or no cache) this is just ``compute()``.
+    """
+    ctx = _context.current()
+    if ctx is None or ctx.cache is None:
+        return compute()
+    key = ctx.cache.key_for(kind, payload)
+    hit, value = ctx.cache.get(key)
+    ctx.stats.points_total += 1
+    if hit:
+        ctx.stats.cache_hits += 1
+        return value
+    value = compute()
+    ctx.stats.points_run += 1
+    ctx.cache.put(key, value)
+    return value

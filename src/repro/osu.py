@@ -21,13 +21,16 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Optional
 
-from repro.bench.report import format_bytes
+from repro.bench.report import format_bytes, sweep_summary
 from repro.core.baselines import LIBRARY_NAMES, library
 from repro.core.registry import ALGORITHMS, algorithms_for
-from repro.core.runner import CollectiveSpec, run_collective
+from repro.core.runner import CollectiveSpec
 from repro.core.tuning import Tuner
+from repro.exec import ExecContext, from_env, use_context
+from repro.exec.sweep import run_specs
 from repro.machine import ARCH_NAMES, get_arch
 
 __all__ = ["main"]
@@ -46,7 +49,7 @@ def _parse_params(pairs: list[str]) -> dict:
     return out
 
 
-def _latency(
+def _point_spec(
     collective: str,
     impl: str,
     arch_name: str,
@@ -55,18 +58,16 @@ def _latency(
     params: dict,
     tuner: Optional[Tuner],
     verify: bool,
-) -> tuple[float, str]:
-    """One measurement point; returns (latency_us, algorithm label)."""
+) -> tuple[CollectiveSpec, str]:
+    """One measurement point; returns (spec, algorithm label)."""
     if impl == "proposed":
         assert tuner is not None
         choice = tuner.choose(collective, eta, procs)
-        res = tuner.run(collective, eta, procs, verify=verify)
-        return res.latency_us, choice.describe()
+        return tuner.spec(collective, eta, procs, verify=verify), choice.describe()
     if impl in LIBRARY_NAMES:
         lib = library(impl)
-        alg, lib_params = lib.select(collective, eta, procs)
-        res = lib.run(collective, get_arch(arch_name), eta, procs, verify=verify)
-        return res.latency_us, alg
+        alg, _lib_params = lib.select(collective, eta, procs)
+        return lib.spec(collective, get_arch(arch_name), eta, procs, verify=verify), alg
     # explicit algorithm
     spec = CollectiveSpec(
         collective,
@@ -77,7 +78,7 @@ def _latency(
         params=params,
         verify=verify,
     )
-    return run_collective(spec).latency_us, impl
+    return spec, impl
 
 
 def main(argv=None) -> int:
@@ -98,6 +99,14 @@ def main(argv=None) -> int:
     parser.add_argument("--max", type=int, default=1 << 22, dest="max_size")
     parser.add_argument("--verify", action="store_true",
                         help="move and check real bytes (slower)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="sweep points in N processes "
+                             "(default: REPRO_EXEC_WORKERS or serial)")
+    parser.add_argument("--cache", action="store_true",
+                        help="reuse/store per-point results in the on-disk "
+                             "cache (REPRO_CACHE_DIR or ~/.cache/repro-exec)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="cache directory (implies --cache)")
     args = parser.parse_args(argv)
 
     arch = get_arch(args.arch)
@@ -112,19 +121,38 @@ def main(argv=None) -> int:
             f"unknown --impl {args.impl!r} for {args.collective}; known: {known}"
         )
 
-    tuner = Tuner.calibrated(get_arch(args.arch)) if args.impl == "proposed" else None
+    sizes = []
+    eta = args.min_size
+    while eta <= args.max_size:
+        sizes.append(eta)
+        eta *= 4
+
+    cache = args.cache_dir if args.cache_dir else (True if args.cache else None)
+    ctx = from_env(workers=args.workers, cache=cache)
+    t0 = time.perf_counter()
+    with use_context(ctx):
+        tuner = (
+            Tuner.calibrated(get_arch(args.arch))
+            if args.impl == "proposed"
+            else None
+        )
+        specs, labels = [], []
+        for eta in sizes:
+            spec, label = _point_spec(
+                args.collective, args.impl, args.arch, procs, eta, params,
+                tuner, args.verify,
+            )
+            specs.append(spec)
+            labels.append(label)
+        results = run_specs(specs)
+    ctx.stats.wall_s = time.perf_counter() - t0
 
     print(f"# {args.collective} latency ({args.arch} model, {procs} processes, "
           f"impl={args.impl}{', verified' if args.verify else ''})")
     print(f"# {'Size':<10}{'Latency(us)':>14}  Algorithm")
-    eta = args.min_size
-    while eta <= args.max_size:
-        lat, label = _latency(
-            args.collective, args.impl, args.arch, procs, eta, params,
-            tuner, args.verify,
-        )
-        print(f"{format_bytes(eta):<12}{lat:>14.2f}  {label}")
-        eta *= 4
+    for eta, res, label in zip(sizes, results, labels):
+        print(f"{format_bytes(eta):<12}{res.latency_us:>14.2f}  {label}")
+    print(f"# {sweep_summary(ctx.stats)}")
     return 0
 
 

@@ -383,3 +383,18 @@ def test_property_ring_neighbor_stride(p, j):
     else:
         with pytest.raises(ValueError):
             run("allgather", "ring_neighbor", p=p, eta=500, j=j)
+
+
+def test_mean_us_matches_per_rank_average():
+    res = run("bcast", "direct_read", p=4, eta=2048)
+    assert res.mean_us == pytest.approx(sum(res.per_rank_us) / 4)
+    assert res.mean_us <= res.latency_us
+
+
+def test_mean_us_empty_per_rank_raises_clear_error():
+    res = run("bcast", "direct_read", p=4, eta=2048)
+    from dataclasses import replace
+
+    hollow = replace(res, per_rank_us=[])
+    with pytest.raises(ValueError, match="per_rank_us is empty"):
+        hollow.mean_us

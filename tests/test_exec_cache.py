@@ -1,0 +1,181 @@
+"""Property tests for the content-addressed result cache.
+
+The cache key must be a pure function of the point's content: stable
+across process restarts and hash seeds (no reliance on Python's
+process-seeded ``hash()``), and sensitive to *every* field of the spec and
+its architecture.  Corrupted and version-salt-stale entries must read as
+misses and be recomputed silently.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.runner import CollectiveSpec
+from repro.exec import ExecContext, ResultCache, use_context
+from repro.exec.sweep import cached_call
+from repro.machine import make_generic
+
+REPO_SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def _spec(kw) -> CollectiveSpec:
+    arch = make_generic(
+        sockets=kw["sockets"],
+        cores_per_socket=kw["cores"],
+        beta_gbps=kw["beta_gbps"],
+    )
+    return CollectiveSpec(
+        kw["collective"],
+        kw["algorithm"],
+        arch,
+        procs=kw["procs"],
+        eta=kw["eta"],
+        root=kw["root"],
+        params=dict(kw["params"]),
+        verify=kw["verify"],
+    )
+
+
+spec_kwargs = st.fixed_dictionaries(
+    {
+        "collective": st.sampled_from(["scatter", "gather", "bcast"]),
+        "algorithm": st.sampled_from(["parallel_read", "throttled_read"]),
+        "eta": st.integers(min_value=1, max_value=1 << 22),
+        "procs": st.integers(min_value=2, max_value=64),
+        "root": st.integers(min_value=0, max_value=1),
+        "params": st.dictionaries(
+            st.sampled_from(["k", "batch", "seg"]),
+            st.integers(min_value=1, max_value=32),
+            max_size=2,
+        ).map(lambda d: tuple(sorted(d.items()))),
+        "verify": st.booleans(),
+        "sockets": st.integers(min_value=1, max_value=2),
+        "cores": st.integers(min_value=2, max_value=16),
+        "beta_gbps": st.sampled_from([1.5, 3.0, 6.0]),
+    }
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(kw=spec_kwargs)
+def test_key_deterministic_for_equal_payloads(kw):
+    cache = ResultCache("key-only", salt="test-salt")  # key_for never touches disk
+    a = cache.key_for("collective", _spec(kw))
+    b = cache.key_for("collective", _spec(dict(kw)))
+    assert a == b
+
+
+_PERTURB = [
+    ("eta", lambda kw: {**kw, "eta": kw["eta"] + 1}),
+    ("procs", lambda kw: {**kw, "procs": kw["procs"] + 1}),
+    ("root", lambda kw: {**kw, "root": (kw["root"] + 1) % 2}),
+    ("algorithm", lambda kw: {**kw, "algorithm": kw["algorithm"] + "_x"}),
+    ("verify", lambda kw: {**kw, "verify": not kw["verify"]}),
+    ("params", lambda kw: {**kw, "params": tuple(sorted(dict(kw["params"], zz=99).items()))}),
+    ("arch", lambda kw: {**kw, "beta_gbps": kw["beta_gbps"] * 2}),
+    ("cores", lambda kw: {**kw, "cores": kw["cores"] + 1}),
+]
+
+
+@settings(max_examples=50, deadline=None)
+@given(kw=spec_kwargs, which=st.integers(min_value=0, max_value=len(_PERTURB) - 1))
+def test_key_changes_when_any_field_changes(kw, which):
+    cache = ResultCache("key-only", salt="test-salt")
+    _name, perturb = _PERTURB[which]
+    assert cache.key_for("collective", _spec(kw)) != cache.key_for(
+        "collective", _spec(perturb(kw))
+    )
+
+
+def test_key_depends_on_kind_and_salt():
+    cache = ResultCache("key-only", salt="v1")
+    kw = {
+        "collective": "scatter", "algorithm": "parallel_read", "eta": 4096,
+        "procs": 8, "root": 0, "params": (), "verify": False,
+        "sockets": 1, "cores": 8, "beta_gbps": 3.0,
+    }
+    key_v1 = cache.key_for("collective", _spec(kw))
+    assert key_v1 != cache.key_for("microbench", _spec(kw))
+    assert key_v1 != ResultCache("key-only", salt="v2").key_for(
+        "collective", _spec(kw)
+    )
+
+
+def test_key_stable_across_process_restart_and_hash_seed(tmp_path):
+    """The same payload keys identically in a fresh interpreter with a
+    different PYTHONHASHSEED — the key never touches ``hash()``."""
+    code = """
+from repro.core.runner import CollectiveSpec
+from repro.exec import ResultCache
+from repro.machine import make_generic
+
+cache = ResultCache("key-only", salt="restart-test")
+spec = CollectiveSpec(
+    "scatter", "throttled_read", make_generic(cores_per_socket=12),
+    procs=10, eta=65536, params={"k": 4, "batch": 2},
+)
+print(cache.key_for("collective", spec))
+"""
+    keys = set()
+    for seed in ("0", "1", "12345"):
+        env = dict(os.environ, PYTHONPATH=REPO_SRC, PYTHONHASHSEED=seed)
+        out = subprocess.run(
+            [sys.executable, "-c", code], env=env,
+            capture_output=True, text=True, check=True,
+        )
+        keys.add(out.stdout.strip())
+    assert len(keys) == 1
+    cache = ResultCache("key-only", salt="restart-test")
+    spec = CollectiveSpec(
+        "scatter", "throttled_read", make_generic(cores_per_socket=12),
+        procs=10, eta=65536, params={"k": 4, "batch": 2},
+    )
+    assert keys == {cache.key_for("collective", spec)}
+
+
+def test_corrupted_entry_is_silently_recomputed(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    with use_context(ExecContext(cache=cache)):
+        assert cached_call("unit", ("p",), lambda: 41) == 41
+    key = cache.key_for("unit", ("p",))
+    path = cache.path_for(key)
+    assert path.exists()
+    path.write_bytes(b"not a pickle")
+    hit, _ = cache.get(key)
+    assert not hit
+    with use_context(ExecContext(cache=cache)) as ctx:
+        assert cached_call("unit", ("p",), lambda: 41) == 41
+    assert ctx.stats.points_run == 1  # recomputed, not served corrupt
+    hit, value = cache.get(key)
+    assert hit and value == 41
+
+
+def test_stale_salt_entry_is_a_miss(tmp_path):
+    old = ResultCache(tmp_path / "cache", salt="repro-exec-v0")
+    new = ResultCache(tmp_path / "cache", salt="repro-exec-v1")
+    payload = ("fit", 1, 2)
+    # Different salts never share keys...
+    assert old.key_for("k", payload) != new.key_for("k", payload)
+    # ...and even a forged collision reads as a miss under the new salt.
+    old.put(new.key_for("k", payload), "stale-value")
+    hit, _ = new.get(new.key_for("k", payload))
+    assert not hit
+    new.put(new.key_for("k", payload), "fresh")
+    hit, value = new.get(new.key_for("k", payload))
+    assert hit and value == "fresh"
+
+
+def test_put_get_roundtrip_and_atomicity(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    key = cache.key_for("roundtrip", {"a": [1, 2.5, "x"], "b": (True, None)})
+    hit, _ = cache.get(key)
+    assert not hit
+    cache.put(key, {"value": [1, 2, 3]})
+    hit, value = cache.get(key)
+    assert hit and value == {"value": [1, 2, 3]}
+    assert not list((tmp_path / "cache").rglob("*.tmp*")), "no temp litter"

@@ -1,0 +1,137 @@
+"""Differential tests for the sweep executor (parallel == serial == cached).
+
+The executor's whole value rests on one guarantee: fanning points over a
+process pool or serving them from the on-disk cache returns *bit-identical*
+results to running them serially in-process.  These tests pin that contract
+on real slices of the paper's artifacts — Fig. 3 (CMA microbenchmarks),
+Fig. 7 (scatter collectives), and Table IV (NLLS fits) — plus the
+cache-warm speedup criterion on a full ``run_experiment``.
+"""
+
+import pytest
+
+import repro.exec.sweep as sweep_mod
+from repro.bench.figures import run_experiment
+from repro.bench.microbench import one_to_all_latency
+from repro.core.fitting import fit_architecture
+from repro.core.runner import CollectiveSpec, run_collective
+from repro.exec import ExecContext, ResultCache, use_context
+from repro.exec.sweep import run_specs, sweep_microbench
+from repro.machine import get_arch
+
+
+def _result_fields(res):
+    return (
+        res.latency_us,
+        tuple(res.per_rank_us),
+        res.ctrl_messages,
+        res.cma_reads,
+        res.cma_writes,
+        res.sim_events,
+    )
+
+
+def _fig07_slice_specs():
+    """A small slice of Fig. 7: scatter algorithms on the KNL model."""
+    arch = get_arch("knl")
+    specs = []
+    for eta in (16 * 1024, 256 * 1024):
+        for alg, params in (
+            ("parallel_read", {}),
+            ("sequential_write", {}),
+            ("throttled_read", {"k": 4}),
+        ):
+            specs.append(
+                CollectiveSpec(
+                    "scatter", alg, arch, procs=12, eta=eta, params=params
+                )
+            )
+    return specs
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_collective_slice_parallel_matches_serial(workers):
+    specs = _fig07_slice_specs()
+    serial = [run_collective(s) for s in specs]
+    with use_context(ExecContext(workers=workers)):
+        pooled = run_specs(specs)
+    assert [_result_fields(r) for r in pooled] == [
+        _result_fields(r) for r in serial
+    ]
+
+
+def test_collective_slice_cached_matches_serial(tmp_path):
+    specs = _fig07_slice_specs()
+    serial = [run_collective(s) for s in specs]
+    cache = ResultCache(tmp_path / "cache")
+    with use_context(ExecContext(workers=2, cache=cache)) as cold:
+        first = run_specs(specs)
+    with use_context(ExecContext(workers=2, cache=cache)) as warm:
+        second = run_specs(specs)
+    expect = [_result_fields(r) for r in serial]
+    assert [_result_fields(r) for r in first] == expect
+    assert [_result_fields(r) for r in second] == expect
+    assert cold.stats.cache_hits == 0 and cold.stats.points_run == len(specs)
+    assert warm.stats.cache_hits == len(specs) and warm.stats.points_run == 0
+
+
+def test_microbench_slice_parallel_and_cached_match_serial(tmp_path):
+    """Fig. 3 slice: one-to-all CMA latency on the Broadwell model."""
+    arch = get_arch("broadwell")
+    calls = [
+        (arch, (readers, nbytes), {})
+        for readers in (1, 4)
+        for nbytes in (16 * 1024, 64 * 1024)
+    ]
+    serial = [one_to_all_latency(arch, readers, nbytes)
+              for _, (readers, nbytes), _ in calls]
+    cache = ResultCache(tmp_path / "cache")
+    with use_context(ExecContext(workers=2, cache=cache)):
+        pooled = sweep_microbench("one_to_all_latency", calls)
+    with use_context(ExecContext(workers=2, cache=cache)) as warm:
+        cached = sweep_microbench("one_to_all_latency", calls)
+    assert pooled == serial
+    assert cached == serial
+    assert warm.stats.cache_hits == len(calls)
+
+
+def test_fitted_params_parallel_and_cached_match_serial(tmp_path):
+    """Table IV slice: the NLLS fit is identical serial, pooled, and cached."""
+    arch = get_arch("broadwell")
+    axes = dict(page_counts=(10, 20), reader_counts=[1, 2, 4, 8])
+    serial = fit_architecture(arch, **axes)
+    cache = ResultCache(tmp_path / "cache")
+    with use_context(ExecContext(workers=2, cache=cache)):
+        pooled = fit_architecture(arch, **axes)
+    with use_context(ExecContext(workers=2, cache=cache)) as warm:
+        cached = fit_architecture(arch, **axes)
+    assert pooled == serial
+    assert cached == serial
+    assert warm.stats.cache_hits >= 1
+
+
+def test_run_experiment_cache_warm_is_cheaper(tmp_path, monkeypatch):
+    """Full-figure acceptance criterion: a cache-warm ``run_experiment`` does
+    at least 5x fewer ``run_collective`` invocations than a cold one, and
+    produces identical output."""
+    calls = {"n": 0}
+    real = sweep_mod._run_collective_fresh
+
+    def counting(spec):
+        calls["n"] += 1
+        return real(spec)
+
+    monkeypatch.setattr(sweep_mod, "_run_collective_fresh", counting)
+
+    cache = ResultCache(tmp_path / "cache")
+    cold = run_experiment("fig07", quick=True, workers=1, cache=cache)
+    cold_calls = calls["n"]
+    calls["n"] = 0
+    warm = run_experiment("fig07", quick=True, workers=1, cache=cache)
+    warm_calls = calls["n"]
+
+    assert cold_calls > 0
+    assert warm_calls * 5 <= cold_calls
+    assert warm.data == cold.data
+    assert [t.render() for t in warm.tables] == [t.render() for t in cold.tables]
+    assert warm.stats is not None and warm.stats.cache_hits >= cold_calls
