@@ -18,6 +18,14 @@ from repro.bench.figures import experiment_ids, run_experiment
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "perf":
+        # Wall-clock perf suite: separate CLI surface (different flags, no
+        # sweep machinery) — see repro.bench.perfsuite.
+        from repro.bench import perfsuite
+
+        return perfsuite.main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the paper's evaluation tables and figures.",

@@ -1,0 +1,332 @@
+"""Wall-clock performance suite for the simulator (``python -m repro.bench perf``).
+
+Unlike everything else under :mod:`repro.bench`, this module measures
+*host* wall-clock time, not simulated microseconds.  It exists so that
+engine optimisations are measured rather than asserted: the suite emits
+``BENCH_engine.json`` with events/sec for a set of engine microbenches and
+per-point wall time for representative Fig 3 / Fig 7 slices, and CI replays
+it (``--smoke --check BENCH_engine.json``) to catch gross regressions.
+
+The benches use only the public simulator API (``Simulator``, ``Delay``,
+``Acquire``/``Release``, ``Join``, ``Mutex``), so the same file runs
+unchanged against any engine revision — that is how before/after numbers
+in README's Performance section were produced.
+
+Usage::
+
+    python -m repro.bench perf                  # full suite -> BENCH_engine.json
+    python -m repro.bench perf --smoke          # CI-sized run
+    python -m repro.bench perf --smoke --check BENCH_engine.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+from typing import Callable, Optional
+
+__all__ = ["run_suite", "main", "SCHEMA"]
+
+SCHEMA = "bench-engine-v1"
+
+# Engine-bench workload sizes: (full, smoke).
+_SIZES = {
+    "zero_delay": ((128, 1_000), (16, 100)),     # (procs, yields per proc)
+    "timer_heap": ((128, 1_000), (16, 100)),
+    "mutex_uncontended": ((1, 80_000), (1, 4_000)),
+    "mutex_contended": ((64, 400), (8, 60)),
+    "spawn_join": ((10_000, 1), (400, 1)),       # (children, -)
+}
+
+FIG03_SLICE = [
+    ("knl", 8, 256 * 1024),
+    ("broadwell", 8, 1 << 20),
+    ("knl", 32, 256 * 1024),
+]
+FIG03_SLICE_SMOKE = [("knl", 8, 256 * 1024)]
+
+FIG07_SLICE = [("parallel_read", {}, 256 * 1024), ("throttled_read", {"k": 4}, 256 * 1024)]
+FIG07_SLICE_SMOKE = [("parallel_read", {}, 256 * 1024)]
+
+
+# --------------------------------------------------------------------------
+# Engine microbenches.  Each builds a Simulator, runs a workload dominated by
+# one kind of event traffic, and returns the Simulator (for events_processed).
+# --------------------------------------------------------------------------
+
+
+def _bench_zero_delay(procs: int, yields: int):
+    """Zero-delay resumptions: the spawn/grant/continuation fast-path traffic."""
+    from repro.sim.engine import Delay, Simulator
+
+    sim = Simulator()
+
+    def worker():
+        for _ in range(yields):
+            yield Delay(0.0)
+
+    for i in range(procs):
+        sim.spawn(worker(), name=f"z{i}")
+    sim.run()
+    return sim
+
+
+def _bench_timer_heap(procs: int, yields: int):
+    """Distinct-timestamp delays: pure heap scheduling, no fast path."""
+    from repro.sim.engine import Delay, Simulator
+
+    sim = Simulator()
+
+    def worker(i: int):
+        for j in range(yields):
+            yield Delay(0.1 + (i * 7 + j) % 13 * 0.01)
+
+    for i in range(procs):
+        sim.spawn(worker(i), name=f"t{i}")
+    sim.run()
+    return sim
+
+
+def _bench_mutex_uncontended(_procs: int, rounds: int):
+    """Lone process acquiring/releasing a mutex: the uncontended-grant path."""
+    from repro.sim.engine import Acquire, Release, Simulator
+    from repro.sim.resources import Mutex
+
+    sim = Simulator()
+    lock = Mutex(sim, "m")
+
+    def worker():
+        for _ in range(rounds):
+            yield Acquire(lock)
+            yield Release(lock)
+
+    sim.spawn(worker(), name="solo")
+    sim.run()
+    return sim
+
+
+def _bench_mutex_contended(procs: int, rounds: int):
+    """Many processes hammering one mutex: grant + contention-profile traffic."""
+    from repro.sim.engine import Acquire, Delay, Release, Simulator
+    from repro.sim.resources import Mutex
+
+    sim = Simulator()
+    lock = Mutex(sim, "m")
+
+    def worker(i: int):
+        for _ in range(rounds):
+            yield Acquire(lock)
+            lock.contention_profile(i % 2)
+            yield Delay(0.01)
+            yield Release(lock)
+
+    for i in range(procs):
+        p = sim.spawn(worker(i), name=f"c{i}")
+        p.socket = i % 2
+    sim.run()
+    return sim
+
+
+def _bench_spawn_join(children: int, _rounds: int):
+    """Spawn/finish/join wakeup churn."""
+    from repro.sim.engine import Delay, Join, Simulator
+
+    sim = Simulator()
+
+    def child():
+        yield Delay(0.0)
+        return 1
+
+    def parent():
+        kids = [sim.spawn(child(), name=f"k{i}") for i in range(children)]
+        total = 0
+        for k in kids:
+            total += yield Join(k)
+        return total
+
+    sim.spawn(parent(), name="parent")
+    sim.run()
+    return sim
+
+
+_ENGINE_BENCHES: dict[str, Callable] = {
+    "zero_delay": _bench_zero_delay,
+    "timer_heap": _bench_timer_heap,
+    "mutex_uncontended": _bench_mutex_uncontended,
+    "mutex_contended": _bench_mutex_contended,
+    "spawn_join": _bench_spawn_join,
+}
+
+
+def _time_engine_bench(name: str, smoke: bool, repeats: int) -> dict:
+    a, b = _SIZES[name][1 if smoke else 0]
+    fn = _ENGINE_BENCHES[name]
+    best = float("inf")
+    events = 0
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        sim = fn(a, b)
+        dt = time.perf_counter() - t0
+        best = min(best, dt)
+        events = sim.events_processed
+    return {
+        "events": events,
+        "wall_s": round(best, 6),
+        "events_per_sec": round(events / best, 1),
+    }
+
+
+# --------------------------------------------------------------------------
+# End-to-end slices (uncached, serial: no exec context is active here, so
+# the @_sweepable microbenches run as plain calls).
+# --------------------------------------------------------------------------
+
+
+def _run_fig03_slice(points) -> dict:
+    from repro.bench.microbench import one_to_all_latency
+    from repro.machine import get_arch
+
+    out = {}
+    for arch, readers, nbytes in points:
+        t0 = time.perf_counter()
+        lat = one_to_all_latency(get_arch(arch), readers, nbytes)
+        wall = time.perf_counter() - t0
+        out[f"{arch}/{readers}r/{nbytes}"] = {
+            "latency_us": lat,
+            "wall_s": round(wall, 4),
+        }
+    return out
+
+
+def _run_fig07_slice(specs) -> dict:
+    from repro.core.runner import CollectiveSpec, run_collective
+    from repro.machine import get_arch
+
+    out = {}
+    for alg, params, eta in specs:
+        spec = CollectiveSpec(
+            "scatter", alg, get_arch("knl"), procs=12, eta=eta, params=params
+        )
+        t0 = time.perf_counter()
+        res = run_collective(spec)
+        wall = time.perf_counter() - t0
+        out[f"{alg}/{eta}"] = {
+            "latency_us": res.latency_us,
+            "sim_events": res.sim_events,
+            "wall_s": round(wall, 4),
+            "events_per_sec": round(res.sim_events / wall, 1) if wall else None,
+        }
+    return out
+
+
+def run_suite(smoke: bool = False, repeats: Optional[int] = None) -> dict:
+    """Run every bench; returns the ``BENCH_engine.json`` payload."""
+    if repeats is None:
+        repeats = 2 if smoke else 3
+    engine = {}
+    total_events = 0
+    total_wall = 0.0
+    for name in _ENGINE_BENCHES:
+        r = _time_engine_bench(name, smoke, repeats)
+        engine[name] = r
+        total_events += r["events"]
+        total_wall += r["wall_s"]
+    engine["overall_events_per_sec"] = round(total_events / total_wall, 1)
+    return {
+        "schema": SCHEMA,
+        "smoke": smoke,
+        "engine": engine,
+        "fig03": _run_fig03_slice(FIG03_SLICE_SMOKE if smoke else FIG03_SLICE),
+        "fig07": _run_fig07_slice(FIG07_SLICE_SMOKE if smoke else FIG07_SLICE),
+    }
+
+
+# --------------------------------------------------------------------------
+# Regression check + CLI
+# --------------------------------------------------------------------------
+
+
+def check_regression(result: dict, baseline: dict, factor: float = 2.0) -> list[str]:
+    """Names of engine benches slower than ``baseline`` by more than ``factor``.
+
+    Wall-clock comparisons across heterogeneous CI hosts are noisy, hence
+    the deliberately loose 2x gate: it catches "the fast path fell off",
+    not single-digit-percent drift.
+    """
+    failures = []
+    base = baseline.get("engine", {})
+    for name, r in result["engine"].items():
+        if name == "overall_events_per_sec":
+            continue
+        ref = base.get(name)
+        if not isinstance(ref, dict):
+            continue
+        if r["events_per_sec"] * factor < ref["events_per_sec"]:
+            failures.append(
+                f"{name}: {r['events_per_sec']:.0f} ev/s vs baseline "
+                f"{ref['events_per_sec']:.0f} ev/s (>{factor:g}x regression)"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench perf",
+        description="Wall-clock perf suite for the simulator engine.",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help="CI-sized workloads (seconds, not minutes)"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None, help="timing repeats per bench (best-of)"
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_engine.json",
+        help="output path (default: ./BENCH_engine.json)",
+    )
+    parser.add_argument(
+        "--check",
+        metavar="BASELINE",
+        default=None,
+        help="compare against a baseline JSON; exit 1 on a >2x engine regression",
+    )
+    args = parser.parse_args(argv)
+
+    result = run_suite(smoke=args.smoke, repeats=args.repeats)
+
+    for name, r in result["engine"].items():
+        if name == "overall_events_per_sec":
+            print(f"engine overall: {r:,.0f} events/sec")
+        else:
+            print(
+                f"engine {name:<18} {r['events']:>7} events  "
+                f"{r['wall_s']*1e3:8.1f} ms  {r['events_per_sec']:>12,.0f} ev/s"
+            )
+    for section in ("fig03", "fig07"):
+        for key, r in result[section].items():
+            print(f"{section} {key:<24} {r['wall_s']*1e3:8.1f} ms  "
+                  f"(sim {r['latency_us']:.1f} us)")
+
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(result, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {out_path}")
+
+    if args.check:
+        baseline = json.loads(Path(args.check).read_text())
+        failures = check_regression(result, baseline)
+        if failures:
+            print("PERF REGRESSION vs baseline:")
+            for f in failures:
+                print(f"  {f}")
+            return 1
+        print(f"no >2x regression vs {args.check}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via repro.bench
+    import sys
+
+    sys.exit(main())

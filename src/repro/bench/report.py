@@ -22,15 +22,34 @@ def format_bytes(n: int) -> str:
     return str(n)
 
 
+def _format_count(n: int) -> str:
+    """12_345_678 -> '12.3M' (compact event counts for the sweep line)."""
+    if n >= 10_000_000:
+        return f"{n / 1_000_000:.0f}M"
+    if n >= 1_000_000:
+        return f"{n / 1_000_000:.1f}M"
+    if n >= 10_000:
+        return f"{n / 1000:.0f}k"
+    return str(n)
+
+
 def sweep_summary(stats) -> str:
     """One-line execution summary for a sweep (duck-typed
     :class:`~repro.exec.context.SweepStats`): how many points actually ran
-    vs. came from the cache, on how many workers."""
-    return (
+    vs. came from the cache, on how many workers, and what the run points
+    cost in simulator events / compute wall time."""
+    line = (
         f"[sweep: {stats.points_total} points, {stats.points_run} run, "
         f"{stats.cache_hits} cache hits, {stats.workers} worker(s), "
-        f"{stats.wall_s:.1f}s]"
+        f"{stats.wall_s:.1f}s"
     )
+    sim_events = getattr(stats, "sim_events", 0)
+    if sim_events:
+        line += (
+            f"; {_format_count(sim_events)} sim events "
+            f"in {stats.run_wall_s:.1f}s"
+        )
+    return line + "]"
 
 
 def format_us(t: float) -> str:

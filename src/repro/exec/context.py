@@ -45,6 +45,13 @@ class SweepStats:
     cache_hits: int = 0
     workers: int = 1
     wall_s: float = 0.0
+    #: simulator events processed by the points actually *run* (cache hits
+    #: replay nothing); collective results carry the count, microbench
+    #: scalars contribute 0.
+    sim_events: int = 0
+    #: wall seconds spent computing cache misses (the sweep's simulator
+    #: cost, as opposed to ``wall_s`` which spans the whole context).
+    run_wall_s: float = 0.0
 
     def merge(self, other: "SweepStats") -> None:
         """Fold a child sweep's counters into this one (wall time excluded:
@@ -52,12 +59,15 @@ class SweepStats:
         self.points_total += other.points_total
         self.points_run += other.points_run
         self.cache_hits += other.cache_hits
+        self.sim_events += other.sim_events
+        self.run_wall_s += other.run_wall_s
 
     def describe(self) -> str:
         return (
             f"{self.points_total} points: {self.points_run} run, "
             f"{self.cache_hits} cache hits, workers={self.workers}, "
-            f"wall={self.wall_s:.1f}s"
+            f"wall={self.wall_s:.1f}s, sim_events={self.sim_events}, "
+            f"run_wall={self.run_wall_s:.1f}s"
         )
 
 

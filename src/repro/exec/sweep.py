@@ -23,6 +23,7 @@ is deterministic.
 from __future__ import annotations
 
 import inspect
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
@@ -72,19 +73,28 @@ def sweep(
                 results[i] = value
                 continue
         miss.append(i)
+    run_wall = 0.0
+    sim_events = 0
     if miss:
         executor = ctx.executor() if ctx is not None else None
+        t0 = time.perf_counter()
         computed = map_points(
             runner, [points[i] for i in miss], workers, executor=executor
         )
+        run_wall = time.perf_counter() - t0
         for i, value in zip(miss, computed):
             results[i] = value
+            # Collective results report how many simulator events the point
+            # cost; cache hits replay none, so only misses count.
+            sim_events += getattr(value, "sim_events", 0) or 0
             if cache is not None:
                 cache.put(keys[i], value)
     if ctx is not None:
         ctx.stats.points_total += len(points)
         ctx.stats.points_run += len(miss)
         ctx.stats.cache_hits += len(points) - len(miss)
+        ctx.stats.sim_events += sim_events
+        ctx.stats.run_wall_s += run_wall
     return results
 
 
@@ -154,7 +164,10 @@ def cached_call(kind: str, payload: Any, compute: Callable[[], Any]) -> Any:
     if hit:
         ctx.stats.cache_hits += 1
         return value
+    t0 = time.perf_counter()
     value = compute()
+    ctx.stats.run_wall_s += time.perf_counter() - t0
     ctx.stats.points_run += 1
+    ctx.stats.sim_events += getattr(value, "sim_events", 0) or 0
     ctx.cache.put(key, value)
     return value

@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.kernel.errors import CMAError, EFAULT, ESRCH
 
-__all__ = ["Buffer", "AddressSpace", "AddressSpaceManager"]
+__all__ = ["Buffer", "AddressSpace", "AddressSpaceManager", "copy_iov_bytes"]
 
 #: virtual address spacing between processes, keeps addr ranges disjoint
 _VA_BASE = 0x7F00_0000_0000
@@ -49,7 +49,7 @@ class Buffer:
         """A numpy view (no copy) of a byte range of this buffer."""
         if nbytes is None:
             nbytes = self.nbytes - offset
-        if offset < 0 or offset + nbytes > self.nbytes:
+        if offset < 0 or nbytes < 0 or offset + nbytes > self.nbytes:
             raise CMAError(EFAULT, f"view [{offset}, {offset + nbytes}) outside {self}")
         return self.data[offset : offset + nbytes]
 
@@ -57,7 +57,7 @@ class Buffer:
         """(address, length) pair for an iovec entry covering a range."""
         if nbytes is None:
             nbytes = self.nbytes - offset
-        if offset < 0 or offset + nbytes > self.nbytes:
+        if offset < 0 or nbytes < 0 or offset + nbytes > self.nbytes:
             raise CMAError(EFAULT, f"iov [{offset}, {offset + nbytes}) outside {self}")
         return (self.addr + offset, nbytes)
 
@@ -111,6 +111,12 @@ class AddressSpace:
             parts.append(buf.view(off, ln))
         if not parts:
             return np.zeros(0, dtype=np.uint8)
+        if len(parts) == 1:
+            # Single-range gather (the common case in collectives): a plain
+            # copy of the view — np.concatenate would copy too, with setup
+            # overhead on top.  Copied, not aliased: callers may scatter the
+            # result back into this same space.
+            return parts[0].copy()
         return np.concatenate(parts)
 
     def scatter_bytes(self, iov: Iterable[tuple[int, int]], data: np.ndarray) -> int:
@@ -144,6 +150,51 @@ class AddressSpace:
             last = (addr + ln - 1) // ps
             total += last - first + 1
         return total
+
+
+def copy_iov_bytes(
+    src_space: AddressSpace,
+    src_iov: Iterable[tuple[int, int]],
+    dst_space: AddressSpace,
+    dst_iov: Iterable[tuple[int, int]],
+    nbytes: int,
+) -> int:
+    """Copy up to ``nbytes`` bytes from ``src_iov`` ranges to ``dst_iov``.
+
+    Equivalent (including fault semantics — every source range resolves in
+    full, destination ranges only as far as the data reaches) to::
+
+        dst_space.scatter_bytes(dst_iov, src_space.gather_bytes(src_iov)[:nbytes])
+
+    but the single-source-range common case copies straight from the source
+    view instead of materialising a concatenated intermediate array.
+    Returns bytes written.
+    """
+    entries = [(a, ln) for a, ln in src_iov if ln != 0]
+    if len(entries) != 1:
+        data = src_space.gather_bytes(src_iov)
+        return dst_space.scatter_bytes(dst_iov, data[:nbytes])
+    addr, ln = entries[0]
+    sbuf, soff = src_space.resolve(addr, ln)
+    data = sbuf.data[soff : soff + min(ln, nbytes)]
+    pos = 0
+    total = len(data)
+    for daddr, dln in dst_iov:
+        if pos >= total:
+            break
+        take = min(dln, total - pos)
+        if take == 0:
+            continue
+        dbuf, doff = dst_space.resolve(daddr, take)
+        chunk = data[pos : pos + take]
+        if dbuf is sbuf:
+            # Source and destination alias the same backing buffer (a
+            # process copying within its own allocation): gather_bytes
+            # would have detached the data; match that by copying first.
+            chunk = chunk.copy()
+        dbuf.data[doff : doff + take] = chunk
+        pos += take
+    return pos
 
 
 class AddressSpaceManager:

@@ -22,10 +22,10 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Generator, Optional, Sequence
 
-from repro.kernel.address_space import AddressSpaceManager
+from repro.kernel.address_space import AddressSpaceManager, copy_iov_bytes
 from repro.kernel.errors import CMAError, EINVAL, EPERM
 from repro.kernel.pagelock import MMLock
-from repro.sim.engine import Delay
+from repro.sim.engine import Acquire, Delay, DelayChain, HoldRelease
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.machine.params import ModelParams
@@ -105,9 +105,8 @@ class CMAKernel:
         flags: int = 0,
     ) -> Generator:
         """Read from ``pid``'s memory into the caller's.  Returns bytes copied."""
-        return self._process_vm_rw(
-            caller, pid, local_iov, remote_iov, flags, write=False
-        )
+        rw = self._process_vm_rw if self.tracer.enabled else self._process_vm_rw_fast
+        return rw(caller, pid, local_iov, remote_iov, flags, write=False)
 
     def process_vm_writev(
         self,
@@ -118,9 +117,8 @@ class CMAKernel:
         flags: int = 0,
     ) -> Generator:
         """Write the caller's memory into ``pid``'s.  Returns bytes copied."""
-        return self._process_vm_rw(
-            caller, pid, local_iov, remote_iov, flags, write=True
-        )
+        rw = self._process_vm_rw if self.tracer.enabled else self._process_vm_rw_fast
+        return rw(caller, pid, local_iov, remote_iov, flags, write=True)
 
     def _process_vm_rw(
         self,
@@ -191,11 +189,95 @@ class CMAKernel:
         if ncopy > 0 and self.verify:
             caller_space = self.manager.get(caller.pid)
             if write:
-                data = caller_space.gather_bytes(local_iov)
-                remote_space.scatter_bytes(remote_iov, data[:ncopy])
+                copy_iov_bytes(
+                    caller_space, local_iov, remote_space, remote_iov, ncopy
+                )
             else:
-                data = remote_space.gather_bytes(remote_iov)
-                caller_space.scatter_bytes(local_iov, data[:ncopy])
+                copy_iov_bytes(
+                    remote_space, remote_iov, caller_space, local_iov, ncopy
+                )
+        if write:
+            self.writes += 1
+        else:
+            self.reads += 1
+        return ncopy
+
+    def _process_vm_rw_fast(
+        self,
+        caller: "SimProcess",
+        pid: int,
+        local_iov: Iovec,
+        remote_iov: Iovec,
+        flags: int,
+        write: bool,
+    ) -> Generator:
+        """Untraced ``_process_vm_rw``: same simulated timeline, fused events.
+
+        With no trace spans to record there is nothing observable between
+        the syscall-entry and access-check delays, or inside a batch's
+        delay/release/copy triplet, so those ride fused
+        :class:`~repro.sim.engine.DelayChain` /
+        :class:`~repro.sim.engine.HoldRelease` records: identical event
+        stream (timestamps, FIFO lock-grant order, tie-breaker sequence
+        numbers, event counts) with roughly half the generator resumptions.
+        One deliberate divergence: ESRCH/EPERM surface after the combined
+        entry+check time rather than between the two delays — the *error*
+        path costs ``alpha_check`` more simulated time than the traced
+        engine charges it.
+        """
+        p = self.params
+
+        if flags != 0:
+            raise CMAError(EINVAL, "flags must be 0")
+        if len(local_iov) > IOV_MAX or len(remote_iov) > IOV_MAX:
+            raise CMAError(EINVAL, "iovcnt exceeds IOV_MAX")
+        local_total = iovec_total(local_iov)
+        remote_total = iovec_total(remote_iov)
+
+        # --- 1+2. syscall entry, then permission check if a remote iovec
+        # is present (one fused record) ---
+        if not remote_iov:
+            yield Delay(p.alpha_syscall)
+            return 0
+        yield DelayChain(p.alpha_syscall, p.alpha_check)
+        remote_space = self.manager.get(pid)  # raises ESRCH
+        if pid in self.denied_pids:
+            raise CMAError(EPERM, f"ptrace access to pid {pid} denied")
+
+        if remote_total == 0:
+            return 0
+
+        # --- 3+4. pin a batch, copy it, pin the next ... ---
+        # Same batching as the traced path; the pin hold, the release, and
+        # the batch's pro-rata copy share ride one HoldRelease record.
+        npages = remote_space.total_pages(remote_iov)
+        ncopy = min(local_total, remote_total)
+        beta = self.copy_beta(caller, pid)
+        mm = self._mm_locks[pid]
+        mutex = mm.mutex
+        pin_batch = p.pin_batch
+        done_pages = 0
+        done_bytes = 0
+        while done_pages < npages:
+            b = min(pin_batch, npages - done_pages)
+            yield Acquire(mutex)
+            hold = mm.hold_time(b, caller)
+            done_pages += b
+            batch_bytes = ncopy * done_pages // npages - done_bytes
+            done_bytes += batch_bytes
+            yield HoldRelease(mutex, hold, batch_bytes * beta)
+            mm.pages_pinned += b
+
+        if ncopy > 0 and self.verify:
+            caller_space = self.manager.get(caller.pid)
+            if write:
+                copy_iov_bytes(
+                    caller_space, local_iov, remote_space, remote_iov, ncopy
+                )
+            else:
+                copy_iov_bytes(
+                    remote_space, remote_iov, caller_space, local_iov, ncopy
+                )
         if write:
             self.writes += 1
         else:

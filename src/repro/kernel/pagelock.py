@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Generator
 
-from repro.sim.engine import Acquire, Delay, Release
+from repro.sim.engine import Acquire, Delay, HoldRelease, Release
 from repro.sim.resources import Mutex
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -79,6 +79,19 @@ class MMLock:
         batch = self.params.pin_batch
         remaining = npages
         tracer = self.tracer
+        if not tracer.enabled:
+            # Fast path: the delay-then-release pair rides one fused
+            # HoldRelease record — same event stream (timestamps, FIFO
+            # grant order, event count), one fewer generator resumption
+            # per batch.  Only the trace spans need the unfused timeline.
+            mutex = self.mutex
+            while remaining > 0:
+                b = min(batch, remaining)
+                yield Acquire(mutex)
+                yield HoldRelease(mutex, self.hold_time(b, caller))
+                self.pages_pinned += b
+                remaining -= b
+            return npages
         while remaining > 0:
             b = min(batch, remaining)
             t_req = self.sim.now

@@ -19,11 +19,13 @@ from repro.sim.engine import (
     SimError,
     DeadlockError,
     Delay,
+    DelayChain,
     Acquire,
     Release,
+    HoldRelease,
     Join,
 )
-from repro.sim.resources import Mutex
+from repro.sim.resources import Mutex, Semaphore
 from repro.sim.channels import Mailbox, Message, Send, Recv, ANY
 from repro.sim.trace import Tracer, Span
 
@@ -33,10 +35,13 @@ __all__ = [
     "SimError",
     "DeadlockError",
     "Delay",
+    "DelayChain",
     "Acquire",
     "Release",
+    "HoldRelease",
     "Join",
     "Mutex",
+    "Semaphore",
     "Mailbox",
     "Message",
     "Send",

@@ -66,7 +66,7 @@ class Mailbox:
         for i, (proc, src, tag) in enumerate(self._posted):
             if _matches(msg, src, tag):
                 del self._posted[i]
-                self.sim.schedule(0.0, lambda: self.sim._resume(proc, msg))
+                self.sim._schedule_resume(0.0, proc, msg)
                 return
         self._queue.append(msg)
 
@@ -74,7 +74,7 @@ class Mailbox:
         for i, msg in enumerate(self._queue):
             if _matches(msg, src, tag):
                 del self._queue[i]
-                self.sim.schedule(0.0, lambda: self.sim._resume(proc, msg))
+                self.sim._schedule_resume(0.0, proc, msg)
                 return
         self._posted.append((proc, src, tag))
 
@@ -112,8 +112,10 @@ class Send(Command):
 
     def _dispatch(self, sim: "Simulator", proc: "SimProcess") -> None:
         msg = Message(self.src, self.tag, self.payload, sim.now)
-        sim.schedule(self.latency, lambda: self.mailbox.deliver(msg))
-        sim.schedule(self.overhead, lambda: sim._resume(proc, None))
+        # Delivery is scheduled before the sender's continuation: at equal
+        # latency/overhead the receiver's wakeup keeps its FIFO precedence.
+        sim._schedule_deliver(self.latency, self.mailbox, msg)
+        sim._schedule_resume(self.overhead, proc, None)
 
 
 class Recv(Command):

@@ -8,10 +8,24 @@ purpose-built and dependency-free:
 * A :class:`SimProcess` wraps a generator.  Each ``yield`` hands a *command*
   to the engine; the engine schedules the resumption.  ``return value`` from
   the generator becomes the process result (retrievable via ``Join``).
-* Every resumption goes through the event heap, even zero-delay ones.  This
-  keeps semantics simple (no re-entrancy, no unbounded recursion when locks
-  are released) at the price of a constant-factor event overhead, which
-  profiling showed is irrelevant next to generator dispatch itself.
+* Every resumption is still an *event* — there is no re-entrancy and no
+  unbounded recursion when locks are released — but zero-delay resumptions
+  (spawns, lock grants, release continuations, join wakeups, message
+  notifications) ride a FIFO **ready deque** instead of the time heap, and
+  events are closure-free ``(time, seq, kind, a, b)`` dispatch records
+  rather than lambda allocations.
+
+Ordering is *identical* to a pure-heap engine: a global monotonic sequence
+number is allocated at the moment an event is scheduled (exactly where the
+old heap push happened), and the run loop merges the deque and the heap by
+``(time, seq)``.  Since every ready entry carries the current timestamp and
+sequence numbers are allocated in order, the deque is always seq-sorted and
+the merge reproduces heap order bit-for-bit — the engine's event
+interleaving (and therefore every simulated microsecond downstream, via
+FIFO lock queues) is unchanged.  ``Simulator(use_ready_queue=False)`` routes
+zero-delay records through the heap instead, which
+``tests/test_engine_ordering.py`` uses to assert the equivalence on random
+workloads.
 
 The engine knows nothing about machines, kernels, or MPI — those layers are
 implemented as generators that run *on* it.
@@ -21,12 +35,15 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
     "SimError",
     "DeadlockError",
     "Delay",
+    "DelayChain",
+    "HoldRelease",
     "Acquire",
     "Release",
     "Join",
@@ -66,6 +83,57 @@ class Delay(Command):
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Delay({self.dt})"
+
+
+class DelayChain(Command):
+    """Two back-to-back delays in one engine round-trip.
+
+    With ``d2 > 0`` this produces the *same* event stream as
+    ``yield Delay(d1); yield Delay(d2)`` — same timestamps, same tie-breaker
+    sequence numbers, same event count — minus one generator resumption:
+    the intermediate event is a chain record, not a ``send``.  With
+    ``d2 == 0`` the second hop is skipped entirely (the continuation runs
+    inside the first event), making it equivalent to ``Delay(d1)`` alone.
+    The kernel fast path uses this for the syscall-entry + access-check
+    pair, which brackets no observable state.
+    """
+
+    __slots__ = ("d1", "d2")
+
+    def __init__(self, d1: float, d2: float):
+        if d1 < 0 or d2 < 0:
+            raise SimError(f"negative delay in chain ({d1!r}, {d2!r})")
+        self.d1 = d1
+        self.d2 = d2
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"DelayChain({self.d1}, {self.d2})"
+
+
+class HoldRelease(Command):
+    """Hold ``lock`` for ``dt`` more microseconds, release it, then resume
+    after a further ``extra_dt``.
+
+    Event-stream-identical to ``yield Delay(dt); yield Release(lock)``
+    (followed by ``yield Delay(extra_dt)`` when ``extra_dt > 0``), but the
+    delay-then-release hop is a dispatch record instead of a generator
+    resumption: the release (and the FIFO grant to the next waiter) happens
+    at exactly the same timestamp and sequence position as before.  The
+    kernel uses this for the pin critical section so an uncontended batch
+    costs two generator resumptions instead of four.
+    """
+
+    __slots__ = ("lock", "dt", "extra_dt")
+
+    def __init__(self, lock, dt: float, extra_dt: float = 0.0):
+        if dt < 0 or extra_dt < 0:
+            raise SimError(f"negative delay in hold ({dt!r}, {extra_dt!r})")
+        self.lock = lock
+        self.dt = dt
+        self.extra_dt = extra_dt
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"HoldRelease({self.lock!r}, {self.dt}, {self.extra_dt})"
 
 
 class Acquire(Command):
@@ -113,6 +181,15 @@ _BLOCKED = "blocked"
 _DONE = "done"
 _FAILED = "failed"
 
+# Dispatch-record kinds.  An event is (time, seq, kind, a, b) on the heap or
+# (seq, kind, a, b) on the ready deque; ``a``/``b`` are kind-specific:
+_K_RESUME = 0   # a=proc,    b=value      -> gen.send(value)
+_K_THROW = 1    # a=proc,    b=exc        -> gen.throw(exc)
+_K_CALL = 2     # a=fn,      b=None       -> fn()           (public schedule())
+_K_DELIVER = 3  # a=mailbox, b=msg        -> mailbox.deliver(msg)
+_K_CHAIN = 4    # a=proc,    b=d2         -> resume now (d2==0) or in d2
+_K_RELEASE = 5  # a=proc,    b=(lock, d2) -> release lock, then chain d2
+
 
 class SimProcess:
     """A schedulable coroutine plus the placement metadata layers hang off it.
@@ -134,6 +211,8 @@ class SimProcess:
         "error",
         "finish_time",
         "_joiners",
+        "_send",
+        "_gthrow",
     )
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str, pid: int):
@@ -148,6 +227,10 @@ class SimProcess:
         self.error: Optional[BaseException] = None
         self.finish_time: Optional[float] = None
         self._joiners: list[SimProcess] = []
+        # Bound once: every resumption would otherwise pay two attribute
+        # lookups (proc.gen.send) in the hottest line of the simulator.
+        self._send = gen.send
+        self._gthrow = gen.throw
 
     @property
     def done(self) -> bool:
@@ -166,24 +249,65 @@ class Simulator:
         p = sim.spawn(worker(), name="w0")
         sim.run()
         assert p.done
+
+    ``use_ready_queue=False`` disables the zero-delay fast path (every
+    record goes through the heap); results are identical, only slower —
+    the differential stress test relies on this.
     """
 
-    def __init__(self, max_events: int = 200_000_000):
+    def __init__(self, max_events: int = 200_000_000, use_ready_queue: bool = True):
         self.now: float = 0.0
         self.max_events = max_events
         self.events_processed = 0
-        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._heap: list[tuple] = []
+        self._ready: deque[tuple] = deque()
+        self._use_ready = use_ready_queue
         self._seq = itertools.count()
         self._pid_counter = itertools.count(1000)  # PIDs look like real PIDs
         self._procs: list[SimProcess] = []
 
     # -- scheduling --------------------------------------------------------
 
+    def _push(self, dt: float, kind: int, a: Any, b: Any) -> None:
+        """Schedule one dispatch record at ``now + dt``.
+
+        The sequence number is allocated *here*, at the exact program point
+        the old engine pushed its heap entry, so same-timestamp tie-breaking
+        is unchanged.  Zero-delay records go to the FIFO ready deque, whose
+        entries all carry the current timestamp; the run loop merges deque
+        and heap by (time, seq).
+        """
+        if dt == 0.0 and self._use_ready:
+            self._ready.append((next(self._seq), kind, a, b))
+        else:
+            heapq.heappush(self._heap, (self.now + dt, next(self._seq), kind, a, b))
+
+    def _schedule_resume(self, dt: float, proc: "SimProcess", value: Any) -> None:
+        """Resume ``proc`` with ``value`` after ``dt`` (resources/channels).
+
+        Open-codes :meth:`_push`: this is the lock-grant / message-wakeup
+        path, hot enough that the extra method call shows up in profiles.
+        """
+        if dt == 0.0 and self._use_ready:
+            self._ready.append((next(self._seq), _K_RESUME, proc, value))
+        else:
+            heapq.heappush(
+                self._heap, (self.now + dt, next(self._seq), _K_RESUME, proc, value)
+            )
+
+    def _schedule_throw(self, dt: float, proc: "SimProcess", exc: BaseException) -> None:
+        """Resume ``proc`` by raising ``exc`` inside it after ``dt``."""
+        self._push(dt, _K_THROW, proc, exc)
+
+    def _schedule_deliver(self, dt: float, mailbox, msg) -> None:
+        """Deliver ``msg`` to ``mailbox`` after ``dt`` (channel transit)."""
+        self._push(dt, _K_DELIVER, mailbox, msg)
+
     def schedule(self, dt: float, fn: Callable[[], None]) -> None:
         """Run callback ``fn`` at ``now + dt``."""
         if dt < 0:
             raise SimError(f"cannot schedule in the past (dt={dt})")
-        heapq.heappush(self._heap, (self.now + dt, next(self._seq), fn))
+        self._push(dt, _K_CALL, fn, None)
 
     def spawn(
         self,
@@ -204,31 +328,161 @@ class Simulator:
         proc.socket = socket
         proc.core = core
         self._procs.append(proc)
-        self.schedule(0.0, lambda: self._resume(proc, None))
+        self._push(0.0, _K_RESUME, proc, None)
         return proc
 
     # -- execution ---------------------------------------------------------
 
     def run(self, until: Optional[float] = None) -> float:
-        """Drain the event heap; returns the final clock value.
+        """Drain the event queues; returns the final clock value.
 
-        Raises :class:`DeadlockError` if processes remain blocked with no
-        pending events, which in this codebase always indicates a protocol
-        bug (e.g. a collective waiting for a notification nobody sends).
+        Events scheduled at exactly ``until`` still run (including any
+        zero-delay cascade they trigger); the clock parks at ``until`` when
+        the next pending event lies beyond it.  Raises
+        :class:`DeadlockError` if processes remain blocked with no pending
+        events, which in this codebase always indicates a protocol bug
+        (e.g. a collective waiting for a notification nobody sends).
         """
-        while self._heap:
-            t, _, fn = self._heap[0]
-            if until is not None and t > until:
-                self.now = until
-                return self.now
-            heapq.heappop(self._heap)
-            self.now = t
-            self.events_processed += 1
-            if self.events_processed > self.max_events:
-                raise SimError(
-                    f"exceeded max_events={self.max_events}; runaway simulation?"
-                )
-            fn()
+        heap = self._heap
+        ready = self._ready
+        ready_append = ready.append
+        ready_pop = ready.popleft
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        next_seq = self._seq.__next__
+        use_ready = self._use_ready
+        max_events = self.max_events
+        throw = self._throw
+        push = self._push
+        finish = self._finish
+        dispatch = self._dispatch
+        n = self.events_processed
+        now = self.now
+        if until is not None and now > until and (heap or ready):
+            # Clock already past the horizon (a previous run() parked it
+            # later): nothing to do, pending work stays pending.
+            self.now = until
+            return until
+        try:
+            while heap or ready:
+                if ready and (
+                    not heap or heap[0][0] > now or heap[0][1] > ready[0][0]
+                ):
+                    _, kind, a, b = ready_pop()
+                else:
+                    entry = heap[0]
+                    t = entry[0]
+                    if until is not None and t > until:
+                        self.now = until
+                        return until
+                    heappop(heap)
+                    self.now = now = t
+                    kind = entry[2]
+                    a = entry[3]
+                    b = entry[4]
+                n += 1
+                if n > max_events:
+                    raise SimError(
+                        f"exceeded max_events={max_events}; runaway simulation?"
+                    )
+                # Kind dispatch.  The resume path (and the commands a resumed
+                # process most often yields) is open-coded below instead of
+                # calling _resume/_dispatch/_push: three method calls per
+                # event is the difference between ~1.0M and ~1.5M events/sec.
+                # The scheduling effects are line-for-line those of
+                # _dispatch — keep both in sync.
+                if kind == _K_RESUME:
+                    proc = a
+                    value = b
+                elif kind == _K_CHAIN:
+                    # Continuation of a fused record: with no second delay
+                    # the process resumes inside this very event (exactly
+                    # where the unfused engine ran its send); otherwise the
+                    # next hop is scheduled just like a yielded Delay.
+                    if b == 0.0:
+                        proc = a
+                        value = None
+                    else:
+                        push(b, _K_RESUME, a, None)
+                        continue
+                elif kind == _K_RELEASE:
+                    lock, extra = b
+                    try:
+                        lock._release(a)
+                    except BaseException as exc:
+                        finish(a, None, exc)
+                    else:
+                        push(0.0, _K_CHAIN, a, extra)
+                    continue
+                elif kind == _K_CALL:
+                    a()
+                    continue
+                elif kind == _K_DELIVER:
+                    a.deliver(b)
+                    continue
+                else:  # _K_THROW
+                    throw(a, b)
+                    continue
+                # -- inline _resume(proc, value) --
+                state = proc.state
+                if state is _DONE or state is _FAILED:  # pragma: no cover
+                    continue
+                proc.state = _READY
+                try:
+                    cmd = proc._send(value)
+                except StopIteration as stop:
+                    finish(proc, stop.value, None)
+                    continue
+                except BaseException as exc:
+                    finish(proc, None, exc)
+                    continue
+                # -- inline _dispatch(proc, cmd) for the hot commands --
+                tc = cmd.__class__
+                try:
+                    if tc is Delay:
+                        proc.state = _BLOCKED
+                        dt = cmd.dt
+                        if dt == 0.0 and use_ready:
+                            ready_append((next_seq(), _K_RESUME, proc, None))
+                        else:
+                            heappush(
+                                heap, (now + dt, next_seq(), _K_RESUME, proc, None)
+                            )
+                    elif tc is Acquire:
+                        proc.state = _BLOCKED
+                        cmd.lock._acquire(proc)
+                    elif tc is HoldRelease:
+                        proc.state = _BLOCKED
+                        dt = cmd.dt
+                        rec = (cmd.lock, cmd.extra_dt)
+                        if dt == 0.0 and use_ready:
+                            ready_append((next_seq(), _K_RELEASE, proc, rec))
+                        else:
+                            heappush(
+                                heap, (now + dt, next_seq(), _K_RELEASE, proc, rec)
+                            )
+                    elif tc is Release:
+                        cmd.lock._release(proc)
+                        proc.state = _BLOCKED
+                        if use_ready:
+                            ready_append((next_seq(), _K_RESUME, proc, None))
+                        else:
+                            heappush(heap, (now, next_seq(), _K_RESUME, proc, None))
+                    elif tc is DelayChain:
+                        proc.state = _BLOCKED
+                        dt = cmd.d1
+                        if dt == 0.0 and use_ready:
+                            ready_append((next_seq(), _K_CHAIN, proc, cmd.d2))
+                        else:
+                            heappush(
+                                heap, (now + dt, next_seq(), _K_CHAIN, proc, cmd.d2)
+                            )
+                    else:
+                        dispatch(proc, cmd)
+                except BaseException as exc:
+                    finish(proc, None, exc)
+        finally:
+            self.events_processed = n
         blocked = [p for p in self._procs if p.state == _BLOCKED]
         if blocked:
             names = ", ".join(p.name for p in blocked[:8])
@@ -263,11 +517,11 @@ class Simulator:
     # -- process stepping ---------------------------------------------------
 
     def _resume(self, proc: SimProcess, value: Any) -> None:
-        if proc.done:  # pragma: no cover - defensive
+        if proc.state in (_DONE, _FAILED):  # pragma: no cover - defensive
             return
         proc.state = _READY
         try:
-            cmd = proc.gen.send(value)
+            cmd = proc._send(value)
         except StopIteration as stop:
             self._finish(proc, stop.value, None)
             return
@@ -278,11 +532,11 @@ class Simulator:
 
     def _throw(self, proc: SimProcess, exc: BaseException) -> None:
         """Resume a process by raising ``exc`` inside it (used by channels)."""
-        if proc.done:  # pragma: no cover - defensive
+        if proc.state in (_DONE, _FAILED):  # pragma: no cover - defensive
             return
         proc.state = _READY
         try:
-            cmd = proc.gen.throw(exc)
+            cmd = proc._gthrow(exc)
         except StopIteration as stop:
             self._finish(proc, stop.value, None)
             return
@@ -292,48 +546,51 @@ class Simulator:
         self._dispatch(proc, cmd)
 
     def _dispatch(self, proc: SimProcess, cmd: Any) -> None:
+        # Protocol errors (double release, bad iovec, ...) fail the process
+        # that issued the command, like a raise at the yield.
         try:
-            self._dispatch_inner(proc, cmd)
-        except BaseException as exc:
-            # protocol errors (double release, bad iovec, ...) fail the
-            # process that issued the command, like a raise at the yield
-            self._finish(proc, None, exc)
-
-    def _dispatch_inner(self, proc: SimProcess, cmd: Any) -> None:
-        if type(cmd) is Delay:
-            proc.state = _BLOCKED
-            self.schedule(cmd.dt, lambda: self._resume(proc, None))
-        elif type(cmd) is Acquire:
-            proc.state = _BLOCKED
-            cmd.lock._acquire(proc)
-        elif type(cmd) is Release:
-            cmd.lock._release(proc)
-            # Releasing never blocks; continue the releaser via the heap so
-            # the granted waiter (scheduled first) runs at the same timestamp.
-            proc.state = _BLOCKED
-            self.schedule(0.0, lambda: self._resume(proc, None))
-        elif type(cmd) is Join:
-            target = cmd.proc
-            if target.done:
-                if target.state == _FAILED:
-                    self.schedule(0.0, lambda: self._throw(proc, target.error))
+            tc = type(cmd)
+            if tc is Delay:
+                proc.state = _BLOCKED
+                self._push(cmd.dt, _K_RESUME, proc, None)
+            elif tc is Acquire:
+                proc.state = _BLOCKED
+                cmd.lock._acquire(proc)
+            elif tc is HoldRelease:
+                proc.state = _BLOCKED
+                self._push(cmd.dt, _K_RELEASE, proc, (cmd.lock, cmd.extra_dt))
+            elif tc is DelayChain:
+                proc.state = _BLOCKED
+                self._push(cmd.d1, _K_CHAIN, proc, cmd.d2)
+            elif tc is Release:
+                cmd.lock._release(proc)
+                # Releasing never blocks; continue the releaser via a fresh
+                # record so the granted waiter (scheduled first) runs at the
+                # same timestamp.
+                proc.state = _BLOCKED
+                self._push(0.0, _K_RESUME, proc, None)
+            elif tc is Join:
+                target = cmd.proc
+                proc.state = _BLOCKED
+                if target.state == _DONE:
+                    self._push(0.0, _K_RESUME, proc, target.result)
+                elif target.state == _FAILED:
+                    self._push(0.0, _K_THROW, proc, target.error)
                 else:
-                    self.schedule(0.0, lambda: self._resume(proc, target.result))
+                    target._joiners.append(proc)
+            elif isinstance(cmd, Command):
+                # Channel commands (Send/Recv) know how to dispatch themselves
+                # to avoid a circular import; see repro.sim.channels.
                 proc.state = _BLOCKED
+                cmd._dispatch(self, proc)  # type: ignore[attr-defined]
             else:
-                proc.state = _BLOCKED
-                target._joiners.append(proc)
-        elif isinstance(cmd, Command):
-            # Channel commands (Send/Recv) know how to dispatch themselves to
-            # avoid a circular import; see repro.sim.channels.
-            proc.state = _BLOCKED
-            cmd._dispatch(self, proc)  # type: ignore[attr-defined]
-        else:
-            self._finish(
-                proc,
-                None,
-                SimError(f"process {proc.name} yielded non-command {cmd!r}"),
-            )
+                self._finish(
+                    proc,
+                    None,
+                    SimError(f"process {proc.name} yielded non-command {cmd!r}"),
+                )
+        except BaseException as exc:
+            self._finish(proc, None, exc)
 
     def _finish(
         self, proc: SimProcess, result: Any, error: Optional[BaseException]
@@ -343,8 +600,9 @@ class Simulator:
         proc.state = _FAILED if error is not None else _DONE
         proc.finish_time = self.now
         joiners, proc._joiners = proc._joiners, []
-        for j in joiners:
-            if error is not None:
-                self.schedule(0.0, lambda j=j: self._throw(j, error))
-            else:
-                self.schedule(0.0, lambda j=j: self._resume(j, result))
+        if error is not None:
+            for j in joiners:
+                self._push(0.0, _K_THROW, j, error)
+        else:
+            for j in joiners:
+                self._push(0.0, _K_RESUME, j, result)

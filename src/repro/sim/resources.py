@@ -5,6 +5,13 @@ set* is observable: the mm-lock hold-time model inflates the critical
 section as a function of how many processes (and on which sockets) are
 fighting for the lock, which is how `get_user_pages` cache-line bouncing
 shows up in the paper's Figure 4/5 measurements.
+
+Contender accounting is incremental: per-socket counts are maintained on
+acquire/release so :meth:`Mutex.contention_profile` — called once per pin
+batch by the hold-time model — is O(1) instead of a scan over the waiter
+queue.  A process's ``socket`` must therefore not change while it is
+holding or waiting on a lock (placement is assigned at spawn time and the
+machine layer never moves a pinned process).
 """
 
 from __future__ import annotations
@@ -24,8 +31,15 @@ class Mutex:
     """FIFO mutual-exclusion lock with an observable contender set.
 
     Acquire/release go through the engine commands
-    :class:`~repro.sim.engine.Acquire` / :class:`~repro.sim.engine.Release`;
-    the methods here are engine-internal.
+    :class:`~repro.sim.engine.Acquire` / :class:`~repro.sim.engine.Release`
+    (or the fused :class:`~repro.sim.engine.HoldRelease`); the methods here
+    are engine-internal.  Grants are zero-delay dispatch records, so an
+    uncontended acquire costs one ready-deque entry — no heap round-trip,
+    no closure.
+
+    Waiters are queued as ``(process, enqueue_time)`` pairs, so wait-time
+    accounting cannot leak state for waiters that are never granted (e.g.
+    a deadlocked simulation being torn down).
 
     Statistics (`acquisitions`, `total_wait_us`, `max_contenders`) feed the
     ftrace-style breakdowns.
@@ -36,7 +50,7 @@ class Mutex:
         "name",
         "holder",
         "_waiters",
-        "_wait_since",
+        "_socket_counts",
         "acquisitions",
         "total_wait_us",
         "max_contenders",
@@ -46,8 +60,8 @@ class Mutex:
         self.sim = sim
         self.name = name
         self.holder: Optional["SimProcess"] = None
-        self._waiters: deque["SimProcess"] = deque()
-        self._wait_since: dict[int, float] = {}
+        self._waiters: deque[tuple["SimProcess", float]] = deque()
+        self._socket_counts: dict[int, int] = {}
         self.acquisitions = 0
         self.total_wait_us = 0.0
         self.max_contenders = 0
@@ -58,7 +72,7 @@ class Mutex:
     def contenders(self) -> list["SimProcess"]:
         """Processes currently involved with the lock: holder plus waiters."""
         out = [self.holder] if self.holder is not None else []
-        out.extend(self._waiters)
+        out.extend(w for w, _ in self._waiters)
         return out
 
     @property
@@ -67,34 +81,29 @@ class Mutex:
 
     def contention_profile(self, socket: int) -> tuple[int, int]:
         """Split the contender set into (same-socket, other-socket) counts
-        relative to ``socket``.  Used by the bounce model."""
-        same = other = 0
-        if self.holder is not None:
-            if self.holder.socket == socket:
-                same += 1
-            else:
-                other += 1
-        for w in self._waiters:
-            if w.socket == socket:
-                same += 1
-            else:
-                other += 1
-        return same, other
+        relative to ``socket``.  Used by the bounce model; O(1)."""
+        same = self._socket_counts.get(socket, 0)
+        return same, self.n_contenders - same
 
     # -- engine internals ------------------------------------------------------
 
     def _acquire(self, proc: "SimProcess") -> None:
         if self.holder is proc:
             raise SimError(f"{proc.name} re-acquired non-reentrant {self.name}")
+        counts = self._socket_counts
+        counts[proc.socket] = counts.get(proc.socket, 0) + 1
         if self.holder is None:
             self.holder = proc
             self.acquisitions += 1
-            self.max_contenders = max(self.max_contenders, self.n_contenders)
-            self.sim.schedule(0.0, lambda: self.sim._resume(proc, None))
+            n = 1 + len(self._waiters)
+            if n > self.max_contenders:
+                self.max_contenders = n
+            self.sim._schedule_resume(0.0, proc, None)
         else:
-            self._waiters.append(proc)
-            self._wait_since[proc.pid] = self.sim.now
-            self.max_contenders = max(self.max_contenders, self.n_contenders)
+            self._waiters.append((proc, self.sim.now))
+            n = 1 + len(self._waiters)
+            if n > self.max_contenders:
+                self.max_contenders = n
 
     def _release(self, proc: "SimProcess") -> None:
         if self.holder is not proc:
@@ -102,13 +111,18 @@ class Mutex:
                 f"{proc.name} released {self.name} held by "
                 f"{self.holder.name if self.holder else 'nobody'}"
             )
+        counts = self._socket_counts
+        left = counts[proc.socket] - 1
+        if left:
+            counts[proc.socket] = left
+        else:
+            del counts[proc.socket]
         if self._waiters:
-            nxt = self._waiters.popleft()
+            nxt, since = self._waiters.popleft()
             self.holder = nxt
             self.acquisitions += 1
-            waited = self.sim.now - self._wait_since.pop(nxt.pid)
-            self.total_wait_us += waited
-            self.sim.schedule(0.0, lambda: self.sim._resume(nxt, None))
+            self.total_wait_us += self.sim.now - since
+            self.sim._schedule_resume(0.0, nxt, None)
         else:
             self.holder = None
 
@@ -125,10 +139,13 @@ class Semaphore:
     returns one.  Unlike :class:`Mutex` there is no holder identity:
     any process may release, which is exactly how a receiver frees a slot
     the sender acquired.
+
+    Tracks ``total_wait_us``/``max_waiters`` the same way :class:`Mutex`
+    does, so slot backpressure shows up in stats next to lock contention.
     """
 
     __slots__ = ("sim", "name", "capacity", "available", "_waiters",
-                 "acquisitions", "max_waiters")
+                 "acquisitions", "total_wait_us", "max_waiters")
 
     def __init__(self, sim: "Simulator", capacity: int, name: str = "sem"):
         if capacity < 1:
@@ -137,8 +154,9 @@ class Semaphore:
         self.name = name
         self.capacity = capacity
         self.available = capacity
-        self._waiters: deque["SimProcess"] = deque()
+        self._waiters: deque[tuple["SimProcess", float]] = deque()
         self.acquisitions = 0
+        self.total_wait_us = 0.0
         self.max_waiters = 0
 
     @property
@@ -151,16 +169,18 @@ class Semaphore:
         if self.available > 0:
             self.available -= 1
             self.acquisitions += 1
-            self.sim.schedule(0.0, lambda: self.sim._resume(proc, None))
+            self.sim._schedule_resume(0.0, proc, None)
         else:
-            self._waiters.append(proc)
-            self.max_waiters = max(self.max_waiters, len(self._waiters))
+            self._waiters.append((proc, self.sim.now))
+            if len(self._waiters) > self.max_waiters:
+                self.max_waiters = len(self._waiters)
 
     def _release(self, proc: "SimProcess") -> None:
         if self._waiters:
-            nxt = self._waiters.popleft()
+            nxt, since = self._waiters.popleft()
             self.acquisitions += 1
-            self.sim.schedule(0.0, lambda: self.sim._resume(nxt, None))
+            self.total_wait_us += self.sim.now - since
+            self.sim._schedule_resume(0.0, nxt, None)
         else:
             if self.available >= self.capacity:
                 raise SimError(f"{self.name}: release past capacity")

@@ -1,0 +1,94 @@
+"""Capture the engine-parity golden fixture.
+
+Records simulated-microsecond results for slices of Fig. 3 (one-to-all CMA
+microbenchmarks), Fig. 7 (scatter collectives, verified bytes), and
+Table IV (the NLLS fitting pipeline) into ``engine_parity.json``.  The
+fixture pins the engine's *simulated-time* behaviour: any optimisation of
+the event loop, the resources, or the kernel fast paths must reproduce
+these numbers bit-for-bit (``tests/test_engine_golden.py``).
+
+Regenerate only when a change is *supposed* to alter simulated results —
+which also means bumping ``repro.exec.cache.CACHE_VERSION``::
+
+    PYTHONPATH=src python tests/golden/capture.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+GOLDEN_PATH = Path(__file__).with_name("engine_parity.json")
+
+FIG03_POINTS = [
+    (arch, readers, nbytes)
+    for arch in ("knl", "broadwell", "power8")
+    for readers in (1, 4, 8)
+    for nbytes in (16 * 1024, 256 * 1024, 1 << 20)
+] + [("knl", 32, 256 * 1024)]
+
+FIG07_SPECS = [
+    (alg, params, eta)
+    for eta in (16 * 1024, 256 * 1024)
+    for alg, params in (
+        ("parallel_read", {}),
+        ("sequential_write", {}),
+        ("throttled_read", {"k": 4}),
+    )
+]
+
+
+def capture() -> dict:
+    from repro.bench.microbench import one_to_all_latency
+    from repro.core.fitting import fit_architecture
+    from repro.core.runner import CollectiveSpec, run_collective
+    from repro.machine import get_arch
+
+    fig03 = {}
+    for arch, readers, nbytes in FIG03_POINTS:
+        lat = one_to_all_latency(get_arch(arch), readers, nbytes)
+        fig03[f"{arch}/{readers}r/{nbytes}"] = lat
+
+    fig07 = {}
+    for alg, params, eta in FIG07_SPECS:
+        spec = CollectiveSpec(
+            "scatter", alg, get_arch("knl"), procs=12, eta=eta, params=params
+        )
+        res = run_collective(spec)
+        fig07[f"{alg}/{eta}"] = {
+            "latency_us": res.latency_us,
+            "per_rank_us": res.per_rank_us,
+            "ctrl_messages": res.ctrl_messages,
+            "cma_reads": res.cma_reads,
+            "cma_writes": res.cma_writes,
+        }
+
+    fit = fit_architecture(
+        get_arch("broadwell"), page_counts=(10, 20), reader_counts=[1, 2, 4, 8]
+    )
+    tab04 = {
+        "alpha": fit.base.alpha,
+        "beta": fit.base.beta,
+        "l_page": fit.base.l_page,
+        "page_size": fit.base.page_size,
+        "g1": fit.gamma.g1,
+        "g2": fit.gamma.g2,
+        "spill": fit.gamma.spill,
+        "knee": fit.gamma.knee,
+        "residual": fit.gamma.residual,
+        "samples": [
+            [s.pages, s.readers, s.gamma] for s in fit.samples
+        ],
+    }
+
+    return {"fig03": fig03, "fig07": fig07, "tab04": tab04}
+
+
+def main() -> None:
+    data = capture()
+    GOLDEN_PATH.write_text(json.dumps(data, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -192,3 +192,126 @@ def test_property_page_count_matches_formula(offset, nbytes):
     first = (buf.addr + offset) // 4096
     last = (buf.addr + offset + nbytes - 1) // 4096
     assert space.total_pages([buf.iov(offset, nbytes)]) == last - first + 1
+
+
+class TestNegativeLengths:
+    def test_view_negative_nbytes_faults(self, space):
+        buf = space.allocate(8)
+        with pytest.raises(CMAError) as e:
+            buf.view(0, -1)
+        assert e.value.errno == EFAULT
+
+    def test_view_negative_offset_faults(self, space):
+        buf = space.allocate(8)
+        with pytest.raises(CMAError) as e:
+            buf.view(-4, 4)
+        assert e.value.errno == EFAULT
+
+    def test_iov_negative_nbytes_faults(self, space):
+        buf = space.allocate(8)
+        with pytest.raises(CMAError) as e:
+            buf.iov(0, -1)
+        assert e.value.errno == EFAULT
+
+    def test_negative_does_not_wrap_via_python_indexing(self, space):
+        # offset=-4, nbytes=4 would "fit" under Python slice semantics;
+        # the kernel contract is EFAULT, not a silent wraparound read.
+        buf = space.allocate(8)
+        with pytest.raises(CMAError):
+            buf.iov(-4, 4)
+
+
+class TestCopyIovBytes:
+    def _filled(self, space, n, start=0):
+        buf = space.allocate(n)
+        buf.fill(np.arange(start, start + n, dtype=np.uint8))
+        return buf
+
+    def test_single_entry_copy(self, mgr):
+        from repro.kernel.address_space import copy_iov_bytes
+
+        src_space, dst_space = mgr.create(1), mgr.create(2)
+        src = self._filled(src_space, 16)
+        dst = dst_space.allocate(16)
+        n = copy_iov_bytes(src_space, [src.iov()], dst_space, [dst.iov()], 16)
+        assert n == 16
+        assert np.array_equal(dst.data, src.data)
+
+    def test_truncated_copy_stops_at_nbytes(self, mgr):
+        from repro.kernel.address_space import copy_iov_bytes
+
+        src_space, dst_space = mgr.create(1), mgr.create(2)
+        src = self._filled(src_space, 16, start=1)
+        dst = dst_space.allocate(16)
+        n = copy_iov_bytes(src_space, [src.iov()], dst_space, [dst.iov()], 6)
+        assert n == 6
+        assert list(dst.data[:6]) == [1, 2, 3, 4, 5, 6]
+        assert not dst.data[6:].any()
+
+    def test_multi_entry_gather_scatter(self, mgr):
+        from repro.kernel.address_space import copy_iov_bytes
+
+        src_space, dst_space = mgr.create(1), mgr.create(2)
+        a = self._filled(src_space, 4, start=0)
+        b = self._filled(src_space, 4, start=4)
+        c = dst_space.allocate(5)
+        d = dst_space.allocate(3)
+        n = copy_iov_bytes(
+            src_space, [a.iov(), b.iov()], dst_space, [c.iov(), d.iov()], 8
+        )
+        assert n == 8
+        assert list(c.data) == [0, 1, 2, 3, 4]
+        assert list(d.data) == [5, 6, 7]
+
+    def test_single_src_scattered_dst_fast_path(self, mgr):
+        from repro.kernel.address_space import copy_iov_bytes
+
+        src_space, dst_space = mgr.create(1), mgr.create(2)
+        src = self._filled(src_space, 8)
+        c = dst_space.allocate(3)
+        d = dst_space.allocate(5)
+        n = copy_iov_bytes(src_space, [src.iov()], dst_space, [c.iov(), d.iov()], 8)
+        assert n == 8
+        assert list(c.data) == [0, 1, 2]
+        assert list(d.data) == [3, 4, 5, 6, 7]
+
+    def test_same_space_overlapping_copy_is_safe(self, mgr):
+        from repro.kernel.address_space import copy_iov_bytes
+
+        space = mgr.create(1)
+        buf = self._filled(space, 8)
+        # dst overlaps src within the SAME backing buffer: the copy must
+        # behave like memmove (source snapshot), not clobber as it goes
+        n = copy_iov_bytes(
+            space, [(buf.addr, 6)], space, [(buf.addr + 2, 6)], 6
+        )
+        assert n == 6
+        assert list(buf.data) == [0, 1, 0, 1, 2, 3, 4, 5]
+
+    def test_matches_gather_then_scatter(self, mgr):
+        from repro.kernel.address_space import copy_iov_bytes
+
+        src_space, dst_space = mgr.create(1), mgr.create(2)
+        rng = np.random.default_rng(7)
+        srcs = []
+        for nbytes in (5, 1, 9):
+            b = src_space.allocate(nbytes)
+            b.fill(rng.integers(0, 256, size=nbytes, dtype=np.uint8))
+            srcs.append(b)
+        dsts = [dst_space.allocate(n) for n in (7, 8)]
+        src_iov = [b.iov() for b in srcs]
+        dst_iov = [b.iov() for b in dsts]
+        expect = src_space.gather_bytes(src_iov)[:15].copy()
+
+        n = copy_iov_bytes(src_space, src_iov, dst_space, dst_iov, 15)
+        assert n == 15
+        assert np.array_equal(
+            np.concatenate([d.data for d in dsts]), expect
+        )
+
+    def test_gather_single_entry_returns_copy_not_alias(self, space):
+        buf = space.allocate(4)
+        buf.fill(np.array([9, 9, 9, 9], dtype=np.uint8))
+        got = space.gather_bytes([buf.iov()])
+        got[:] = 0
+        assert list(buf.data) == [9, 9, 9, 9]

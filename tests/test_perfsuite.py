@@ -1,0 +1,99 @@
+"""Smoke tests for the wall-clock perf suite (``python -m repro.bench perf``).
+
+These never assert on absolute speed — CI hosts vary wildly — only on the
+payload shape the suite emits and on the regression-check logic CI uses.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import perfsuite
+
+
+@pytest.fixture(scope="module")
+def result():
+    return perfsuite.run_suite(smoke=True, repeats=1)
+
+
+def test_payload_shape(result):
+    assert result["schema"] == perfsuite.SCHEMA
+    assert result["smoke"] is True
+    engine = result["engine"]
+    assert set(engine) == {
+        "zero_delay",
+        "timer_heap",
+        "mutex_uncontended",
+        "mutex_contended",
+        "spawn_join",
+        "overall_events_per_sec",
+    }
+    for name, r in engine.items():
+        if name == "overall_events_per_sec":
+            assert r > 0
+            continue
+        assert r["events"] > 0
+        assert r["wall_s"] > 0
+        assert r["events_per_sec"] == pytest.approx(
+            r["events"] / r["wall_s"], rel=1e-3
+        )
+
+
+def test_fig_slices_report_simulated_and_wall_time(result):
+    assert result["fig03"], "smoke fig03 slice must not be empty"
+    for r in result["fig03"].values():
+        assert r["latency_us"] > 0
+        assert r["wall_s"] >= 0
+    assert result["fig07"], "smoke fig07 slice must not be empty"
+    for r in result["fig07"].values():
+        assert r["latency_us"] > 0
+        assert r["sim_events"] > 0
+
+
+def test_payload_is_json_serialisable(result):
+    assert json.loads(json.dumps(result)) == result
+
+
+def _payload(**ev_per_sec):
+    return {
+        "schema": perfsuite.SCHEMA,
+        "engine": {
+            name: {"events": 1000, "wall_s": 0.1, "events_per_sec": v}
+            for name, v in ev_per_sec.items()
+        },
+    }
+
+
+def test_check_regression_passes_within_factor():
+    base = _payload(zero_delay=1000.0, timer_heap=1000.0)
+    cur = _payload(zero_delay=600.0, timer_heap=2000.0)
+    assert perfsuite.check_regression(cur, base, factor=2.0) == []
+
+
+def test_check_regression_flags_gross_slowdown():
+    base = _payload(zero_delay=1000.0, timer_heap=1000.0)
+    cur = _payload(zero_delay=400.0, timer_heap=1000.0)
+    failures = perfsuite.check_regression(cur, base, factor=2.0)
+    assert len(failures) == 1
+    assert "zero_delay" in failures[0]
+
+
+def test_check_regression_ignores_benches_missing_from_baseline():
+    base = _payload(zero_delay=1000.0)
+    cur = _payload(zero_delay=1000.0, timer_heap=1.0)
+    assert perfsuite.check_regression(cur, base) == []
+
+
+def test_cli_writes_output_and_self_check_passes(tmp_path, capsys):
+    out = tmp_path / "bench.json"
+    assert perfsuite.main(["--smoke", "--repeats", "1", "--out", str(out)]) == 0
+    written = json.loads(out.read_text())
+    assert written["schema"] == perfsuite.SCHEMA
+    # a run checked against itself can never regress
+    assert (
+        perfsuite.main(
+            ["--smoke", "--repeats", "1", "--out", str(out), "--check", str(out)]
+        )
+        == 0
+    )
+    assert "no >2x regression" in capsys.readouterr().out

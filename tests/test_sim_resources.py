@@ -151,3 +151,113 @@ def test_wait_statistics():
     # second waits 2, third waits 4
     assert lock.total_wait_us == pytest.approx(6.0)
     assert lock.max_contenders == 3
+
+
+def test_no_wait_state_leak_after_deadlock():
+    """Waiters that are never granted must not corrupt the lock's books:
+    the (proc, since) queue entries carry the wait-start time, so a
+    deadlocked teardown leaves total_wait_us untouched and the contender
+    accounting consistent."""
+    from repro.sim import DeadlockError
+
+    sim = Simulator()
+    lock = Mutex(sim, "l")
+
+    def hog():
+        yield Acquire(lock)
+        # never releases
+
+    def victim():
+        yield Delay(1.0)
+        yield Acquire(lock)
+
+    sim.spawn(hog())
+    victims = [sim.spawn(victim()) for _ in range(3)]
+    with pytest.raises(DeadlockError):
+        sim.run()
+    assert lock.total_wait_us == 0.0  # nobody was ever granted
+    assert lock.acquisitions == 1
+    assert lock.n_contenders == 4
+    assert lock.contention_profile(0) == (4, 0)
+    assert all(not v.done for v in victims)
+
+
+def test_contention_profile_decrements_on_release():
+    sim = Simulator()
+    lock = Mutex(sim, "l")
+    snapshots = []
+
+    def proc(sock, arrival):
+        yield Delay(arrival)
+        yield Acquire(lock)
+        yield Delay(5.0)  # let later arrivals queue before snapshotting
+        snapshots.append(lock.contention_profile(0))
+        yield Delay(5.0)
+        yield Release(lock)
+
+    for i, sock in enumerate([0, 0, 1]):
+        p = sim.spawn(proc(sock, i * 1.0))
+        p.socket = sock
+    sim.run()
+    # holder 0 sees (2 same, 1 other); after it departs the next same-socket
+    # holder sees (1, 1); the socket-1 holder alone sees (0, 1) rel. socket 0
+    assert snapshots == [(2, 1), (1, 1), (0, 1)]
+    assert lock.contention_profile(0) == (0, 0)
+    assert lock._socket_counts == {}
+
+
+def test_semaphore_blocks_at_capacity_and_wakes_fifo():
+    from repro.sim import Semaphore
+
+    sim = Simulator()
+    sem = Semaphore(sim, capacity=2, name="slots")
+    order = []
+
+    def proc(tag):
+        yield Acquire(sem)
+        order.append(("in", tag, sim.now))
+        yield Delay(2.0)
+        yield Release(sem)
+
+    for tag in range(4):
+        sim.spawn(proc(tag))
+    sim.run()
+    assert [o[1] for o in order] == [0, 1, 2, 3]
+    # 0 and 1 enter instantly; 2 and 3 wait one full hold each
+    assert [o[2] for o in order] == pytest.approx([0.0, 0.0, 2.0, 2.0])
+
+
+def test_semaphore_wait_statistics():
+    from repro.sim import Semaphore
+
+    sim = Simulator()
+    sem = Semaphore(sim, capacity=1, name="slots")
+
+    def proc():
+        yield Acquire(sem)
+        yield Delay(3.0)
+        yield Release(sem)
+
+    for _ in range(3):
+        sim.spawn(proc())
+    sim.run()
+    assert sem.acquisitions == 3
+    # second waits 3, third waits 6
+    assert sem.total_wait_us == pytest.approx(9.0)
+    assert sem.max_waiters == 2
+    assert sem.available == sem.capacity
+
+
+def test_semaphore_release_past_capacity_fails():
+    from repro.sim import Semaphore
+
+    sim = Simulator()
+    sem = Semaphore(sim, capacity=1, name="slots")
+
+    def proc():
+        yield Release(sem)
+
+    p = sim.spawn(proc())
+    sim.run()
+    assert p.state == "failed"
+    assert isinstance(p.error, SimError)
