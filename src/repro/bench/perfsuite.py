@@ -50,6 +50,53 @@ FIG03_SLICE_SMOKE = [("knl", 8, 256 * 1024)]
 FIG07_SLICE = [("parallel_read", {}, 256 * 1024), ("throttled_read", {"k": 4}, 256 * 1024)]
 FIG07_SLICE_SMOKE = [("parallel_read", {}, 256 * 1024)]
 
+# End-to-end sweep slices: many points at fixed (arch, p) — the shape every
+# figure sweep has, and exactly what warm-node reuse amortises.  Points are
+# (collective, algorithm, params, eta).
+SWEEP_SLICES = {
+    # Fig 7: the scatter algorithm family on the KNL model.
+    "fig07_scatter_knl": {
+        "arch": "knl",
+        "procs": 12,
+        "points": [
+            ("scatter", alg, params, eta)
+            for eta in (16 * 1024, 64 * 1024, 256 * 1024)
+            for alg, params in (
+                ("parallel_read", {}),
+                ("sequential_write", {}),
+                ("throttled_read", {"k": 4}),
+            )
+        ],
+    },
+    # Fig 13 style: scatter via the algorithms the library models lower to
+    # (binomial pt2pt trees, rendezvous fan-out) on the Broadwell model.
+    "fig13_scatter_bdw": {
+        "arch": "broadwell",
+        "procs": 12,
+        "points": [
+            ("scatter", alg, params, eta)
+            for eta in (16 * 1024, 128 * 1024)
+            for alg, params in (
+                ("parallel_read", {}),
+                ("binomial_p2p", {}),
+                ("fanout_rndv", {}),
+            )
+        ],
+    },
+}
+SWEEP_SLICES_SMOKE = {
+    "fig07_scatter_knl": {
+        "arch": "knl",
+        "procs": 8,
+        "points": [
+            ("scatter", "parallel_read", {}, 16 * 1024),
+            ("scatter", "parallel_read", {}, 64 * 1024),
+            ("scatter", "throttled_read", {"k": 4}, 16 * 1024),
+            ("scatter", "throttled_read", {"k": 4}, 64 * 1024),
+        ],
+    },
+}
+
 
 # --------------------------------------------------------------------------
 # Engine microbenches.  Each builds a Simulator, runs a workload dominated by
@@ -221,6 +268,59 @@ def _run_fig07_slice(specs) -> dict:
     return out
 
 
+def _sweep_specs(slice_def: dict):
+    from repro.core.runner import CollectiveSpec
+    from repro.machine import get_arch
+
+    arch = get_arch(slice_def["arch"])
+    return [
+        CollectiveSpec(
+            coll, alg, arch, procs=slice_def["procs"], eta=eta, params=params
+        )
+        for coll, alg, params, eta in slice_def["points"]
+    ]
+
+
+def _run_sweep_bench(slice_def: dict, repeats: int) -> dict:
+    """Points/sec over one slice, fresh-node vs warm-node (best-of-N).
+
+    The fresh pass is the pre-warm-pool behaviour (a new Node/Comm per
+    point); the warm pass reuses one :class:`~repro.core.runner.NodePool`
+    across the slice, pool misses included.  Both produce bit-identical
+    latencies — the differential suite enforces that; this bench only
+    times them.
+    """
+    from repro.core.runner import NodePool, run_collective, run_collective_pooled
+
+    specs = _sweep_specs(slice_def)
+    n = len(specs)
+    fresh_best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for s in specs:
+            run_collective(s)
+        fresh_best = min(fresh_best, time.perf_counter() - t0)
+    warm_best = float("inf")
+    for _ in range(repeats):
+        pool = NodePool()
+        t0 = time.perf_counter()
+        for s in specs:
+            run_collective_pooled(s, pool)
+        warm_best = min(warm_best, time.perf_counter() - t0)
+    return {
+        "points": n,
+        "fresh": {
+            "wall_s": round(fresh_best, 6),
+            "points_per_sec": round(n / fresh_best, 2),
+        },
+        "warm": {
+            "wall_s": round(warm_best, 6),
+            "points_per_sec": round(n / warm_best, 2),
+        },
+        "warm_speedup": round(fresh_best / warm_best, 3),
+    }
+
+
 def run_suite(smoke: bool = False, repeats: Optional[int] = None) -> dict:
     """Run every bench; returns the ``BENCH_engine.json`` payload."""
     if repeats is None:
@@ -234,12 +334,16 @@ def run_suite(smoke: bool = False, repeats: Optional[int] = None) -> dict:
         total_events += r["events"]
         total_wall += r["wall_s"]
     engine["overall_events_per_sec"] = round(total_events / total_wall, 1)
+    slices = SWEEP_SLICES_SMOKE if smoke else SWEEP_SLICES
     return {
         "schema": SCHEMA,
         "smoke": smoke,
         "engine": engine,
         "fig03": _run_fig03_slice(FIG03_SLICE_SMOKE if smoke else FIG03_SLICE),
         "fig07": _run_fig07_slice(FIG07_SLICE_SMOKE if smoke else FIG07_SLICE),
+        "sweep": {
+            name: _run_sweep_bench(sl, repeats) for name, sl in slices.items()
+        },
     }
 
 
@@ -248,16 +352,21 @@ def run_suite(smoke: bool = False, repeats: Optional[int] = None) -> dict:
 # --------------------------------------------------------------------------
 
 
-def check_regression(result: dict, baseline: dict, factor: float = 2.0) -> list[str]:
-    """Names of engine benches slower than ``baseline`` by more than ``factor``.
+def check_sections(
+    result: dict, baseline: dict, factor: float = 2.0
+) -> dict[str, list[str]]:
+    """Per-section regression failures vs ``baseline``.
 
     Wall-clock comparisons across heterogeneous CI hosts are noisy, hence
-    the deliberately loose 2x gate: it catches "the fast path fell off",
-    not single-digit-percent drift.
+    the deliberately loose ``factor`` (2x) gate: it catches "the fast path
+    fell off", not single-digit-percent drift.  ``engine`` compares
+    events/sec per microbench; ``sweep`` compares warm points/sec per
+    slice.  Sections missing from either side are skipped.
     """
-    failures = []
+    sections: dict[str, list[str]] = {}
+    failures: list[str] = []
     base = baseline.get("engine", {})
-    for name, r in result["engine"].items():
+    for name, r in result.get("engine", {}).items():
         if name == "overall_events_per_sec":
             continue
         ref = base.get(name)
@@ -268,7 +377,65 @@ def check_regression(result: dict, baseline: dict, factor: float = 2.0) -> list[
                 f"{name}: {r['events_per_sec']:.0f} ev/s vs baseline "
                 f"{ref['events_per_sec']:.0f} ev/s (>{factor:g}x regression)"
             )
-    return failures
+    sections["engine"] = failures
+    if "sweep" in result:
+        failures = []
+        base = baseline.get("sweep", {})
+        for name, r in result["sweep"].items():
+            ref = base.get(name)
+            if not isinstance(ref, dict):
+                continue
+            cur = r["warm"]["points_per_sec"]
+            refv = ref["warm"]["points_per_sec"]
+            if cur * factor < refv:
+                failures.append(
+                    f"{name}: {cur:.1f} warm points/s vs baseline "
+                    f"{refv:.1f} points/s (>{factor:g}x regression)"
+                )
+        sections["sweep"] = failures
+    return sections
+
+
+def check_regression(result: dict, baseline: dict, factor: float = 2.0) -> list[str]:
+    """All regression failures vs ``baseline`` (see :func:`check_sections`)."""
+    return [
+        f for fails in check_sections(result, baseline, factor).values()
+        for f in fails
+    ]
+
+
+def _summary_lines(result: dict, sections: dict[str, list[str]]) -> list[str]:
+    """One pass/fail line per checked section (CI-readable without the
+    artifact; also written to ``$GITHUB_STEP_SUMMARY`` when set)."""
+    lines = []
+    for sec, fails in sections.items():
+        status = "FAIL" if fails else "PASS"
+        if sec == "engine":
+            metric = f"{result['engine']['overall_events_per_sec']:,.0f} events/sec overall"
+        else:
+            pps = ", ".join(
+                f"{name} {r['warm']['points_per_sec']:.1f} pts/s "
+                f"({r['warm_speedup']:.2f}x warm)"
+                for name, r in result["sweep"].items()
+            )
+            metric = pps or "no slices"
+        detail = f"; {len(fails)} regression(s)" if fails else ""
+        lines.append(f"perf {sec}: {status} — {metric}{detail}")
+    return lines
+
+
+def _write_step_summary(lines: list[str]) -> None:
+    import os
+
+    path = os.environ.get("GITHUB_STEP_SUMMARY", "").strip()
+    if not path:
+        return
+    try:
+        with open(path, "a", encoding="utf-8") as fh:
+            for line in lines:
+                fh.write(f"- {line}\n")
+    except OSError:  # pragma: no cover - CI filesystem hiccup is non-fatal
+        pass
 
 
 def main(argv=None) -> int:
@@ -309,6 +476,13 @@ def main(argv=None) -> int:
         for key, r in result[section].items():
             print(f"{section} {key:<24} {r['wall_s']*1e3:8.1f} ms  "
                   f"(sim {r['latency_us']:.1f} us)")
+    for name, r in result["sweep"].items():
+        print(
+            f"sweep {name:<20} {r['points']:>3} pts  "
+            f"fresh {r['fresh']['points_per_sec']:7.1f} pts/s  "
+            f"warm {r['warm']['points_per_sec']:7.1f} pts/s  "
+            f"({r['warm_speedup']:.2f}x)"
+        )
 
     out_path = Path(args.out)
     out_path.write_text(json.dumps(result, indent=1, sort_keys=True) + "\n")
@@ -316,7 +490,12 @@ def main(argv=None) -> int:
 
     if args.check:
         baseline = json.loads(Path(args.check).read_text())
-        failures = check_regression(result, baseline)
+        sections = check_sections(result, baseline)
+        lines = _summary_lines(result, sections)
+        for line in lines:
+            print(line)
+        _write_step_summary(lines)
+        failures = [f for fails in sections.values() for f in fails]
         if failures:
             print("PERF REGRESSION vs baseline:")
             for f in failures:

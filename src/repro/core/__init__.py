@@ -26,13 +26,21 @@ Module                    Contents
 ========================  ====================================================
 """
 
-from repro.core.runner import CollectiveSpec, CollectiveResult, run_collective
+from repro.core.runner import (
+    CollectiveSpec,
+    CollectiveResult,
+    NodePool,
+    run_collective,
+    run_collective_pooled,
+)
 from repro.core.registry import get_algorithm, algorithms_for, ALGORITHMS
 
 __all__ = [
     "CollectiveSpec",
     "CollectiveResult",
+    "NodePool",
     "run_collective",
+    "run_collective_pooled",
     "get_algorithm",
     "algorithms_for",
     "ALGORITHMS",

@@ -9,6 +9,7 @@ moving the right bytes fails loudly.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -23,10 +24,100 @@ class VerificationError(AssertionError):
     """A collective produced bytes that violate MPI semantics."""
 
 
-def pattern(a: int, b: int, eta: int) -> np.ndarray:
-    """Deterministic eta-byte pattern keyed by two small integers."""
+#: blocks at or under this many bytes are memoized (a sweep revisits the
+#: same (src, blk, eta) keys at every point); larger ones are recomputed so
+#: a big-message sweep cannot pin gigabytes of patterns in memory
+_MEMO_BLOCK_LIMIT = 4 << 20
+#: whole-buffer assembly cap: above this many output bytes the vectorized
+#: (p, eta) uint32 intermediate is not worth its footprint — fall back to
+#: per-block fills/compares
+_ASSEMBLY_LIMIT = 32 << 20
+
+
+def _pattern_raw(a: int, b: int, eta: int) -> np.ndarray:
     idx = np.arange(eta, dtype=np.uint32)
     return ((idx * 31 + a * 7 + b * 13 + 5) % 251).astype(np.uint8)
+
+
+@lru_cache(maxsize=512)
+def _pattern_cached(a: int, b: int, eta: int) -> np.ndarray:
+    arr = _pattern_raw(a, b, eta)
+    arr.flags.writeable = False  # shared across callers: mutation must fault
+    return arr
+
+
+def pattern(a: int, b: int, eta: int) -> np.ndarray:
+    """Deterministic eta-byte pattern keyed by two small integers.
+
+    Returns a **read-only** array (memoized for small ``eta``): write it
+    into a buffer via assignment or :meth:`~repro.kernel.Buffer.fill`,
+    never mutate it in place.
+    """
+    if eta <= _MEMO_BLOCK_LIMIT:
+        return _pattern_cached(a, b, eta)
+    arr = _pattern_raw(a, b, eta)
+    arr.flags.writeable = False
+    return arr
+
+
+def _stack_raw(pairs: tuple[tuple[int, int], ...], eta: int) -> np.ndarray:
+    """The concatenation of ``pattern(a, b, eta)`` for each (a, b) pair,
+    computed as one broadcasted expression instead of ``len(pairs)``
+    separate arange/astype round-trips."""
+    a = np.fromiter((ab[0] for ab in pairs), dtype=np.uint32, count=len(pairs))
+    b = np.fromiter((ab[1] for ab in pairs), dtype=np.uint32, count=len(pairs))
+    idx = np.arange(eta, dtype=np.uint32)
+    out = (idx[None, :] * 31 + a[:, None] * 7 + b[:, None] * 13 + 5) % 251
+    return out.astype(np.uint8).ravel()
+
+
+@lru_cache(maxsize=64)
+def _stack_cached(pairs: tuple[tuple[int, int], ...], eta: int) -> np.ndarray:
+    arr = _stack_raw(pairs, eta)
+    arr.flags.writeable = False
+    return arr
+
+
+def _block_stack(pairs: tuple[tuple[int, int], ...], eta: int) -> np.ndarray:
+    """Read-only whole-buffer expectation for uniform-block collectives."""
+    if len(pairs) * eta <= _ASSEMBLY_LIMIT:
+        return _stack_cached(pairs, eta)
+    arr = _stack_raw(pairs, eta)
+    arr.flags.writeable = False
+    return arr
+
+
+def _fill_blocks(buf, pairs: tuple[tuple[int, int], ...], eta: int) -> None:
+    """Fill ``buf`` with ``len(pairs)`` consecutive eta-byte patterns."""
+    if len(pairs) * eta <= _ASSEMBLY_LIMIT:
+        buf.view(0, len(pairs) * eta)[:] = _block_stack(pairs, eta)
+        return
+    for i, (a, b) in enumerate(pairs):
+        buf.view(i * eta, eta)[:] = pattern(a, b, eta)
+
+
+@lru_cache(maxsize=32)
+def _reduce_expected_cached(p: int, eta: int) -> np.ndarray:
+    a = np.arange(p, dtype=np.uint32)
+    idx = np.arange(eta, dtype=np.uint32)
+    blocks = (idx[None, :] * 31 + a[:, None] * 7 + 5) % 251
+    reduced = (blocks.sum(axis=0, dtype=np.uint32) % 256).astype(np.uint8)
+    reduced.flags.writeable = False
+    return reduced
+
+
+def _reduce_expected(p: int, eta: int) -> np.ndarray:
+    """Elementwise sum mod 256 of ``pattern(r, 0, eta)`` over ranks.
+
+    Exact: pattern values are < 251 and p <= a few hundred, so the uint32
+    accumulation cannot overflow — identical to summing in any width >= 16.
+    """
+    if p * eta <= _ASSEMBLY_LIMIT:
+        return _reduce_expected_cached(p, eta)
+    total = np.zeros(eta, dtype=np.uint32)
+    for r in range(p):
+        total += pattern(r, 0, eta)
+    return (total % 256).astype(np.uint8)
 
 
 def setup_buffers(comm: "Comm", spec) -> tuple[list, list]:
@@ -41,8 +132,7 @@ def setup_buffers(comm: "Comm", spec) -> tuple[list, list]:
     if coll == "scatter":
         sendbufs[root] = comm.allocate(root, p * eta, "sendbuf")
         if fill:
-            for d in range(p):
-                sendbufs[root].view(d * eta, eta)[:] = pattern(root, d, eta)
+            _fill_blocks(sendbufs[root], tuple((root, d) for d in range(p)), eta)
         for r in range(p):
             if r == root and spec.in_place:
                 continue
@@ -77,8 +167,7 @@ def setup_buffers(comm: "Comm", spec) -> tuple[list, list]:
             sendbufs[r] = comm.allocate(r, p * eta, "sendbuf")
             recvbufs[r] = comm.allocate(r, p * eta, "recvbuf")
             if fill:
-                for d in range(p):
-                    sendbufs[r].view(d * eta, eta)[:] = pattern(r, d, eta)
+                _fill_blocks(sendbufs[r], tuple((r, d) for d in range(p)), eta)
     elif coll in ("scatterv", "gatherv"):
         from repro.core.vcollectives import displacements
 
@@ -157,6 +246,30 @@ def verify_buffers(comm: "Comm", spec, sendbufs, recvbufs) -> None:
                 f"{bad} (got {got[bad]}, want {pat[bad]})"
             )
 
+    def expect_blocks(buf, pairs, what_of):
+        """Whole-buffer compare of consecutive eta-byte expected blocks.
+
+        One ``np.array_equal`` over ``len(pairs) * eta`` bytes instead of
+        ``len(pairs)`` view/compare round-trips; on mismatch the error is
+        re-derived per block so the message (block label, byte offset,
+        got/want values) is identical to the per-block loop's.
+        """
+        n = len(pairs) * eta
+        if n > _ASSEMBLY_LIMIT:
+            for i, (a, b) in enumerate(pairs):
+                expect(buf, i * eta, pattern(a, b, eta), what_of(i))
+            return
+        want = _block_stack(pairs, eta)
+        got = buf.view(0, n)
+        if np.array_equal(got, want):
+            return
+        i = int(np.argmax(got != want))
+        blk, byte = divmod(i, eta)
+        raise VerificationError(
+            f"{coll}/{spec.algorithm}: {what_of(blk)}: first mismatch at byte "
+            f"{byte} (got {got[i]}, want {want[i]})"
+        )
+
     if coll == "scatter":
         for r in range(p):
             if r == root and spec.in_place:
@@ -167,29 +280,26 @@ def verify_buffers(comm: "Comm", spec, sendbufs, recvbufs) -> None:
                 continue
             expect(recvbufs[r], 0, pattern(root, r, eta), f"rank {r} block")
     elif coll == "gather":
-        for r in range(p):
-            expect(
-                recvbufs[root], r * eta, pattern(r, 0, eta),
-                f"root's block from rank {r}",
-            )
+        expect_blocks(
+            recvbufs[root],
+            tuple((r, 0) for r in range(p)),
+            lambda r: f"root's block from rank {r}",
+        )
     elif coll == "bcast":
         pat = pattern(root, 0, eta)
         for r in range(p):
             expect(recvbufs[r], 0, pat, f"rank {r} payload")
     elif coll == "allgather":
+        pairs = tuple((b, 0) for b in range(p))
         for r in range(p):
-            for b in range(p):
-                expect(
-                    recvbufs[r], b * eta, pattern(b, 0, eta),
-                    f"rank {r} block {b}",
-                )
+            expect_blocks(recvbufs[r], pairs, lambda b, r=r: f"rank {r} block {b}")
     elif coll == "alltoall":
         for r in range(p):
-            for s in range(p):
-                expect(
-                    recvbufs[r], s * eta, pattern(s, r, eta),
-                    f"rank {r} block from {s}",
-                )
+            expect_blocks(
+                recvbufs[r],
+                tuple((s, r) for s in range(p)),
+                lambda s, r=r: f"rank {r} block from {s}",
+            )
     elif coll in ("scatterv", "gatherv"):
         from repro.core.vcollectives import displacements
 
@@ -243,10 +353,7 @@ def verify_buffers(comm: "Comm", spec, sendbufs, recvbufs) -> None:
                         f"alltoallv: rank {r} block from {s_rank}: byte {bad}"
                     )
     elif coll in ("reduce", "allreduce"):
-        total = np.zeros(eta, dtype=np.uint16)
-        for r in range(p):
-            total += pattern(r, 0, eta)
-        reduced = (total % 256).astype(np.uint8)
+        reduced = _reduce_expected(p, eta)
         targets = range(p) if coll == "allreduce" else [root]
         for r in targets:
             expect(recvbufs[r], 0, reduced, f"rank {r} reduction")

@@ -7,6 +7,7 @@ off the :class:`CollectiveResult`.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -15,7 +16,13 @@ from repro.core.registry import get_algorithm
 from repro.machine.arch import Architecture
 from repro.mpi.communicator import Comm, Node
 
-__all__ = ["CollectiveSpec", "CollectiveResult", "run_collective"]
+__all__ = [
+    "CollectiveSpec",
+    "CollectiveResult",
+    "run_collective",
+    "run_collective_pooled",
+    "NodePool",
+]
 
 
 @dataclass
@@ -95,22 +102,19 @@ class CollectiveResult:
         return sum(self.per_rank_us) / len(self.per_rank_us)
 
 
-def run_collective(spec: CollectiveSpec) -> CollectiveResult:
-    """Build a fresh node, run ``spec`` on every rank, verify, and time it.
-
-    Raises :class:`~repro.core.patterns.VerificationError` if the bytes any
-    rank ends up with violate MPI semantics (only when ``spec.verify``).
-    """
+def _validated_algorithm(spec: CollectiveSpec):
+    """Resolve + validate the algorithm factory for ``spec``."""
     info = get_algorithm(spec.collective, spec.algorithm)
     err = info.check(spec.procs, spec.params)
     if err:
         raise ValueError(
             f"{spec.collective}/{spec.algorithm} invalid for p={spec.procs}: {err}"
         )
-    fn = info.make(**spec.params)
+    return info.make(**spec.params)
 
-    node = Node(spec.arch, verify=spec.verify, trace=spec.trace)
-    comm = Comm(node, spec.procs)
+
+def _execute(spec: CollectiveSpec, fn, node: Node, comm: Comm) -> CollectiveResult:
+    """Run ``spec`` on an already-built (fresh or freshly-reset) node."""
     sendbufs, recvbufs = patterns.setup_buffers(comm, spec)
 
     procs = []
@@ -146,3 +150,100 @@ def run_collective(spec: CollectiveSpec) -> CollectiveResult:
         sim_events=node.sim.events_processed,
         trace_by_phase=node.tracer.total_by_phase() if spec.trace else None,
     )
+
+
+def run_collective(spec: CollectiveSpec) -> CollectiveResult:
+    """Build a fresh node, run ``spec`` on every rank, verify, and time it.
+
+    Raises :class:`~repro.core.patterns.VerificationError` if the bytes any
+    rank ends up with violate MPI semantics (only when ``spec.verify``).
+    """
+    fn = _validated_algorithm(spec)
+    node = Node(spec.arch, verify=spec.verify, trace=spec.trace)
+    comm = Comm(node, spec.procs)
+    return _execute(spec, fn, node, comm)
+
+
+class NodePool:
+    """Warm (Node, Comm) pairs reused across consecutive sweep points.
+
+    Keyed by ``(arch.name, procs, verify, trace)`` with an identity-or-
+    equality check on the stored :class:`Architecture` (presets return a
+    fresh but value-equal instance per :func:`~repro.machine.get_arch`
+    call; a *different* arch that happens to share a name rebuilds).
+
+    The reset contract (see DESIGN.md §5) guarantees that a leased node is
+    indistinguishable from a fresh one for simulation purposes — the
+    engine's clock/sequence stream, every lock and mailbox, the tracer, and
+    the address spaces (addresses restart at ``va_base``, recycled arrays
+    re-zeroed) all restart exactly as constructed — so pooled and fresh
+    execution produce bit-identical results
+    (``tests/test_node_pool.py``).  A run that raises leaves arbitrary
+    engine state behind, so the node is discarded, never re-pooled.
+    """
+
+    def __init__(self, max_entries: int = 4):
+        self.max_entries = max_entries
+        self._entries: OrderedDict[tuple, tuple[Architecture, Node, Comm]] = (
+            OrderedDict()
+        )
+        self.leases = 0
+        self.reuses = 0
+
+    def node_for(
+        self, arch: Architecture, procs: int, verify: bool, trace: bool
+    ) -> tuple[Node, Comm]:
+        """Lease a warm node+comm for ``(arch, procs)``, or build one.
+
+        The entry is *removed* from the pool while leased, so a pool is
+        safe to share across nested ``run_collective_pooled`` calls.
+        """
+        key = (arch.name, procs, verify, trace)
+        self.leases += 1
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            pooled_arch, node, comm = entry
+            if pooled_arch is arch or pooled_arch == arch:
+                self.reuses += 1
+                return node, comm
+        node = Node(arch, verify=verify, trace=trace)
+        comm = Comm(node, procs)
+        return node, comm
+
+    def release(self, arch: Architecture, node: Node, comm: Comm) -> None:
+        """Reset a leased node and return it to the pool (LRU-evicting)."""
+        node.reset()
+        comm.reset()
+        key = (arch.name, comm.size, node.verify, node.tracer.enabled)
+        self._entries.pop(key, None)
+        self._entries[key] = (arch, node, comm)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+#: module-level pool used when callers don't manage their own
+_DEFAULT_POOL = NodePool()
+
+
+def run_collective_pooled(
+    spec: CollectiveSpec, pool: Optional[NodePool] = None
+) -> CollectiveResult:
+    """:func:`run_collective` on a warm node from ``pool``.
+
+    Bit-identical to :func:`run_collective` (enforced by the differential
+    battery in ``tests/test_node_pool.py``) but skips Node/Comm
+    construction and buffer allocation when the previous point used the
+    same (arch, procs, verify, trace).  On any failure the node is
+    discarded instead of re-pooled, so a raising point cannot poison the
+    next one.
+    """
+    if pool is None:
+        pool = _DEFAULT_POOL
+    fn = _validated_algorithm(spec)
+    node, comm = pool.node_for(spec.arch, spec.procs, spec.verify, spec.trace)
+    result = _execute(spec, fn, node, comm)
+    pool.release(spec.arch, node, comm)
+    return result

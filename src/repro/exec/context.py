@@ -12,6 +12,9 @@ Environment knobs (both honoured only where no explicit argument wins):
   ``auto`` means one worker per CPU.
 * ``REPRO_CACHE_DIR`` — enables the on-disk cache at that directory for
   ``run_experiment`` / the CLIs.
+* ``REPRO_WARM_NODES`` — set to ``0``/``off``/``false``/``no`` to disable
+  warm-node reuse (every point builds a fresh simulated node, the pre-PR-3
+  behaviour).  On by default; results are bit-identical either way.
 """
 
 from __future__ import annotations
@@ -25,15 +28,18 @@ from repro.exec.cache import ENV_CACHE_DIR, ResultCache
 
 __all__ = [
     "ENV_WORKERS",
+    "ENV_WARM_NODES",
     "SweepStats",
     "ExecContext",
     "current",
     "use_context",
     "from_env",
     "resolve_workers",
+    "resolve_warm_nodes",
 ]
 
 ENV_WORKERS = "REPRO_EXEC_WORKERS"
+ENV_WARM_NODES = "REPRO_WARM_NODES"
 
 
 @dataclass
@@ -91,6 +97,14 @@ def resolve_workers(workers: Union[int, str, None]) -> int:
     return max(int(workers), 1)
 
 
+def resolve_warm_nodes(warm_nodes: Optional[bool]) -> bool:
+    """Explicit argument > ``REPRO_WARM_NODES`` > on."""
+    if warm_nodes is not None:
+        return bool(warm_nodes)
+    raw = os.environ.get(ENV_WARM_NODES, "").strip().lower()
+    return raw not in ("0", "off", "false", "no")
+
+
 def _resolve_cache(cache) -> Optional[ResultCache]:
     if cache is None or cache is False:
         return None
@@ -110,9 +124,15 @@ class ExecContext:
     ``use_context`` shuts it down on exit.
     """
 
-    def __init__(self, workers: Union[int, str, None] = None, cache=None):
+    def __init__(
+        self,
+        workers: Union[int, str, None] = None,
+        cache=None,
+        warm_nodes: Optional[bool] = None,
+    ):
         self.workers = resolve_workers(workers)
         self.cache = _resolve_cache(cache)
+        self.warm_nodes = resolve_warm_nodes(warm_nodes)
         self.stats = SweepStats(workers=self.workers)
         self._executor = None  # None = not created, False = unavailable
         self._executor_owner: "ExecContext" = self
@@ -155,7 +175,7 @@ def use_context(ctx: ExecContext) -> Iterator[ExecContext]:
         ctx.close()
 
 
-def from_env(workers=None, cache=None) -> ExecContext:
+def from_env(workers=None, cache=None, warm_nodes=None) -> ExecContext:
     """Build a context from explicit args, the enclosing context, then env.
 
     Used by ``run_experiment`` and the CLIs so that an outer context (e.g.
@@ -174,7 +194,9 @@ def from_env(workers=None, cache=None) -> ExecContext:
             c = ResultCache() if os.environ.get(ENV_CACHE_DIR, "").strip() else None
     else:
         c = cache
-    ctx = ExecContext(workers=w, cache=c)
+    if warm_nodes is None and parent is not None:
+        warm_nodes = parent.warm_nodes
+    ctx = ExecContext(workers=w, cache=c, warm_nodes=warm_nodes)
     if parent is not None and parent.workers == ctx.workers:
         # Nested sweeps (run_experiment under a harness context) share the
         # parent's pool rather than paying start-up again.

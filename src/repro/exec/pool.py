@@ -57,10 +57,20 @@ def map_points(
             return _serial(fn, points)
     chunksize = max(1, len(points) // (workers * 4))
     try:
-        return list(executor.map(fn, points, chunksize=chunksize))
-    except (BrokenProcessPool, OSError, PermissionError, NotImplementedError):
-        # Sandboxed/fork-restricted hosts: the sweep still completes.
-        return _serial(fn, points)
+        try:
+            return list(executor.map(fn, points, chunksize=chunksize))
+        except (BrokenProcessPool, OSError, PermissionError, NotImplementedError):
+            # Sandboxed/fork-restricted hosts (or a worker dying mid-map):
+            # the sweep still completes serially.  A throwaway pool is torn
+            # down *before* the serial recomputation so its workers don't
+            # outlive the failure; ``finally`` below then has nothing to do.
+            if own:
+                executor.shutdown(wait=True, cancel_futures=True)
+                executor = None
+            return _serial(fn, points)
     finally:
-        if own:
-            executor.shutdown()
+        # Covers success AND exceptions raised by fn itself (which
+        # executor.map re-raises in the caller): a pool we created never
+        # leaks its worker processes.
+        if own and executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)

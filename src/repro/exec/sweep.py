@@ -25,10 +25,12 @@ from __future__ import annotations
 import inspect
 import time
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.runner import CollectiveResult, CollectiveSpec
 from repro.core.runner import run_collective as _run_collective_fresh
+from repro.core.runner import run_collective_pooled as _run_collective_pooled
 from repro.exec import context as _context
 from repro.exec.pool import map_points
 
@@ -49,12 +51,17 @@ def sweep(
     runner: Callable[[Any], Any],
     points: Sequence[Any],
     payloads: Optional[Sequence[Any]] = None,
+    decode: Optional[Callable[[Any, int], Any]] = None,
 ) -> List[Any]:
     """Run ``runner`` over ``points`` under the active context.
 
     ``payloads`` (defaults to the points themselves) are what gets
     fingerprinted for the cache key; ``runner`` must be a picklable
-    top-level callable for the pool path.
+    top-level callable for the pool path.  ``decode(raw, i)`` inflates a
+    slimmed cross-process record back into the full value for point ``i``
+    — applied *before* ``cache.put``, so the on-disk cache always stores
+    full values and stays byte-compatible with entries written by older
+    code under the same ``CACHE_VERSION``.
     """
     ctx = _context.current()
     cache = ctx.cache if ctx is not None else None
@@ -83,6 +90,8 @@ def sweep(
         )
         run_wall = time.perf_counter() - t0
         for i, value in zip(miss, computed):
+            if decode is not None:
+                value = decode(value, i)
             results[i] = value
             # Collective results report how many simulator events the point
             # cost; cache hits replay none, so only misses count.
@@ -101,9 +110,148 @@ def sweep(
 # -- collective points -------------------------------------------------------
 
 
+def _compute_collective(spec: CollectiveSpec, warm: bool) -> CollectiveResult:
+    """The one place a sweep point's simulation actually runs.
+
+    ``warm`` selects the warm-node pool (bit-identical, skips per-point
+    node construction); tests patch this symbol to count executions.
+    """
+    if warm:
+        return _run_collective_pooled(spec)
+    return _run_collective_fresh(spec)
+
+
+@lru_cache(maxsize=8)
+def _preset_arch(name: str):
+    """Per-process preset architecture (workers rebuild each name once)."""
+    from repro.machine import get_arch
+
+    return get_arch(name)
+
+
+@dataclass(frozen=True)
+class _CollectivePoint:
+    """Slim picklable stand-in for a :class:`CollectiveSpec`.
+
+    ``arch`` is the preset *name* whenever the spec's arch is value-equal
+    to that preset, so a thousand-point sweep doesn't re-ship the full
+    parameter/topology tables per point; workers rebuild (and memoize) the
+    preset locally.  A customised arch still travels whole.
+    """
+
+    collective: str
+    algorithm: str
+    arch: Any  # str preset name, or a full Architecture
+    procs: int
+    eta: int
+    root: int
+    in_place: bool
+    params: Tuple[Tuple[str, Any], ...]
+    verify: bool
+    trace: bool
+    counts: Any
+    warm: bool
+
+
+@dataclass
+class _SlimResult:
+    """A :class:`CollectiveResult` minus its spec (the parent re-attaches
+    the original spec object, so results don't round-trip arch tables)."""
+
+    latency_us: float
+    per_rank_us: List[float]
+    ctrl_messages: int
+    cma_reads: int
+    cma_writes: int
+    sim_events: int
+    trace_by_phase: Optional[dict]
+
+
+def _slim_point(spec: CollectiveSpec, warm: bool) -> _CollectivePoint:
+    arch = spec.arch
+    name = getattr(arch, "name", None)
+    if isinstance(name, str):
+        try:
+            if _preset_arch(name) == arch:
+                arch = name
+        except KeyError:
+            pass
+    return _CollectivePoint(
+        collective=spec.collective,
+        algorithm=spec.algorithm,
+        arch=arch,
+        procs=spec.procs,
+        eta=spec.eta,
+        root=spec.root,
+        in_place=spec.in_place,
+        params=tuple(sorted(spec.params.items())),
+        verify=spec.verify,
+        trace=spec.trace,
+        counts=spec.counts,
+        warm=warm,
+    )
+
+
+def _exec_point(pt: _CollectivePoint) -> _SlimResult:
+    """Worker-side execution: rebuild the spec, run it, return it slim."""
+    arch = _preset_arch(pt.arch) if isinstance(pt.arch, str) else pt.arch
+    spec = CollectiveSpec(
+        collective=pt.collective,
+        algorithm=pt.algorithm,
+        arch=arch,
+        procs=pt.procs,
+        eta=pt.eta,
+        root=pt.root,
+        in_place=pt.in_place,
+        params=dict(pt.params),
+        verify=pt.verify,
+        trace=pt.trace,
+        counts=pt.counts,
+    )
+    r = _compute_collective(spec, pt.warm)
+    return _SlimResult(
+        latency_us=r.latency_us,
+        per_rank_us=r.per_rank_us,
+        ctrl_messages=r.ctrl_messages,
+        cma_reads=r.cma_reads,
+        cma_writes=r.cma_writes,
+        sim_events=r.sim_events,
+        trace_by_phase=r.trace_by_phase,
+    )
+
+
+def _inflate_result(raw: Any, spec: CollectiveSpec) -> CollectiveResult:
+    if isinstance(raw, CollectiveResult):  # a patched runner returned it whole
+        return raw
+    return CollectiveResult(
+        spec=spec,
+        latency_us=raw.latency_us,
+        per_rank_us=raw.per_rank_us,
+        ctrl_messages=raw.ctrl_messages,
+        cma_reads=raw.cma_reads,
+        cma_writes=raw.cma_writes,
+        sim_events=raw.sim_events,
+        trace_by_phase=raw.trace_by_phase,
+    )
+
+
 def run_specs(specs: Iterable[CollectiveSpec]) -> List[CollectiveResult]:
-    """Run every spec, pooled and cached per the active context."""
-    return sweep("collective", _run_collective_fresh, list(specs))
+    """Run every spec, pooled and cached per the active context.
+
+    Cache keys fingerprint the *specs* (unchanged from PR 1 — warm cache
+    entries stay valid); only the cross-process transport is slimmed.
+    """
+    specs = list(specs)
+    ctx = _context.current()
+    warm = ctx.warm_nodes if ctx is not None else _context.resolve_warm_nodes(None)
+    points = [_slim_point(s, warm) for s in specs]
+    return sweep(
+        "collective",
+        _exec_point,
+        points,
+        payloads=specs,
+        decode=lambda raw, i: _inflate_result(raw, specs[i]),
+    )
 
 
 def run_collective(spec: CollectiveSpec) -> CollectiveResult:

@@ -31,11 +31,21 @@ class Buffer:
 
     __slots__ = ("space", "addr", "nbytes", "data", "name")
 
-    def __init__(self, space: "AddressSpace", addr: int, nbytes: int, name: str):
+    def __init__(
+        self,
+        space: "AddressSpace",
+        addr: int,
+        nbytes: int,
+        name: str,
+        data: Optional[np.ndarray] = None,
+    ):
         self.space = space
         self.addr = addr
         self.nbytes = nbytes
-        self.data = np.zeros(nbytes, dtype=np.uint8)
+        # ``data`` lets the arena hand back a recycled (already re-zeroed)
+        # array; a fresh allocation and a recycled one are indistinguishable
+        # to callers.
+        self.data = np.zeros(nbytes, dtype=np.uint8) if data is None else data
         self.name = name
 
     @property
@@ -71,16 +81,31 @@ class AddressSpace:
     def __init__(self, pid: int, page_size: int, va_base: int):
         self.pid = pid
         self.page_size = page_size
+        self.va_base = va_base
         self._next_addr = va_base
         self._starts: list[int] = []  # sorted buffer base addresses
         self._buffers: list[Buffer] = []  # parallel to _starts
+        # Recycled backing arrays from the last reset, keyed by exact size.
+        self._arena: dict[int, list[np.ndarray]] = {}
 
     def allocate(self, nbytes: int, name: str = "buf") -> Buffer:
-        """Allocate ``nbytes`` page-aligned bytes; returns the new buffer."""
+        """Allocate ``nbytes`` page-aligned bytes; returns the new buffer.
+
+        After a :meth:`reset`, an exact-size request is served from the
+        arena: the recycled array is re-zeroed (a stale correct answer from
+        the previous run must not be able to satisfy verification) and the
+        buffer gets a fresh address/name, so callers cannot tell it from a
+        new ``np.zeros`` allocation.
+        """
         if nbytes <= 0:
             raise ValueError(f"allocation size must be positive, got {nbytes}")
         addr = self._next_addr
-        buf = Buffer(self, addr, nbytes, name)
+        data = None
+        free = self._arena.get(nbytes)
+        if free:
+            data = free.pop()
+            data[:] = 0
+        buf = Buffer(self, addr, nbytes, name, data=data)
         pages = -(-nbytes // self.page_size)
         # leave one guard page between allocations so off-by-one iovecs fault
         self._next_addr += (pages + 1) * self.page_size
@@ -88,6 +113,24 @@ class AddressSpace:
         self._starts.insert(idx, addr)
         self._buffers.insert(idx, buf)
         return buf
+
+    def reset(self) -> None:
+        """Unmap everything; recycle the backing arrays for reuse.
+
+        ``_next_addr`` returns to ``va_base`` so the next run hands out the
+        *same* address sequence a fresh space would — addresses flow into
+        iovecs, so this is part of the bit-exactness contract.  The arena is
+        *replaced* (not extended) with the just-unmapped arrays: consecutive
+        same-shape sweep points reuse everything, while a sweep that changes
+        eta cannot accumulate unboundedly many stale sizes.
+        """
+        arena: dict[int, list[np.ndarray]] = {}
+        for buf in self._buffers:
+            arena.setdefault(buf.nbytes, []).append(buf.data)
+        self._arena = arena
+        self._starts.clear()
+        self._buffers.clear()
+        self._next_addr = self.va_base
 
     def resolve(self, addr: int, nbytes: int) -> tuple[Buffer, int]:
         """Map (addr, len) to (buffer, offset); EFAULT if out of bounds."""
@@ -214,6 +257,12 @@ class AddressSpaceManager:
         self._n += 1
         self._spaces[pid] = space
         return space
+
+    def reset_spaces(self) -> None:
+        """Reset every registered space (keeps pid registrations — a warm
+        node re-registers the same pid set in the same order)."""
+        for space in self._spaces.values():
+            space.reset()
 
     def get(self, pid: int) -> AddressSpace:
         try:

@@ -83,6 +83,20 @@ class CMAKernel:
         self._mm_locks[pid] = MMLock(self.sim, pid, self.params, self.tracer)
         self._sockets[pid] = socket
 
+    def reset(self) -> None:
+        """Reset per-run state while keeping pid registrations.
+
+        A warm node re-registers the same pids in the same order, so the
+        address spaces and mm locks survive (their *contents* are reset);
+        only counters and the denial set go back to zero.
+        """
+        self.denied_pids.clear()
+        self.reads = 0
+        self.writes = 0
+        for mm in self._mm_locks.values():
+            mm.reset()
+        self.manager.reset_spaces()
+
     def copy_beta(self, caller: "SimProcess", pid: int) -> float:
         """Per-byte copy time between ``caller`` and process ``pid``."""
         beta = self.params.beta

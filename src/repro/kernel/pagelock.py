@@ -57,6 +57,11 @@ class MMLock:
         self.tracer = tracer
         self.pages_pinned = 0
 
+    def reset(self) -> None:
+        """Fresh-construction state: unheld mutex, zero pin counter."""
+        self.mutex.reset()
+        self.pages_pinned = 0
+
     def hold_time(self, batch_pages: int, caller: "SimProcess") -> float:
         """Critical-section duration for pinning one batch, right now."""
         p = self.params

@@ -51,6 +51,18 @@ class Node:
             self.sim, self.manager, arch.params, self.tracer, verify=verify
         )
 
+    def reset(self) -> None:
+        """Return the node to fresh-construction state, keeping structure.
+
+        The engine restarts its clock/sequence stream, the tracer drops its
+        spans, and the kernel resets counters, mm locks and address-space
+        contents — but registered pids (and their recycled buffer arenas)
+        survive, which is the whole point of warm reuse.
+        """
+        self.sim.reset()
+        self.tracer.clear()
+        self.cma.reset()
+
     @property
     def params(self):
         return self.arch.params
@@ -87,6 +99,15 @@ class Comm:
             self._pids.append(pid)
             self._placements.append(place)
         self._op_counters = [itertools.count() for _ in range(size)]
+
+    def reset(self) -> None:
+        """Reset per-run transport state and the op-sequence counters.
+
+        Must be paired with :meth:`Node.reset` — the shm mailboxes hold
+        engine-scheduled state, and op counters feed message tags.
+        """
+        self.shm.reset()
+        self._op_counters = [itertools.count() for _ in range(self.size)]
 
     # -- identity ------------------------------------------------------------
 

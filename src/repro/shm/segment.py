@@ -35,6 +35,10 @@ class SegmentPool:
         self.nslots = nslots
         self._sem = Semaphore(sim, nslots, name="shm-segment")
 
+    def reset(self) -> None:
+        """Restore full slot capacity and drop waiter statistics."""
+        self._sem.reset()
+
     @property
     def slots_in_use(self) -> int:
         return self._sem.in_use

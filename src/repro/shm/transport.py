@@ -58,6 +58,13 @@ class ShmTransport:
         self.segment = SegmentPool(sim, params, params.shm_segment_slots)
         self.ctrl_messages = 0
 
+    def reset(self) -> None:
+        """Empty all mailboxes, restore segment slots, zero the ctrl count."""
+        for mb in self.mailboxes:
+            mb.reset()
+        self.segment.reset()
+        self.ctrl_messages = 0
+
     def mailbox(self, rank: int) -> Mailbox:
         return self.mailboxes[rank]
 

@@ -78,6 +78,12 @@ class Mailbox:
                 return
         self._posted.append((proc, src, tag))
 
+    def reset(self) -> None:
+        """Drop queued/posted messages and the delivery counter."""
+        self._queue.clear()
+        self._posted.clear()
+        self.delivered = 0
+
     @property
     def pending(self) -> int:
         return len(self._queue)

@@ -266,6 +266,22 @@ class Simulator:
         self._pid_counter = itertools.count(1000)  # PIDs look like real PIDs
         self._procs: list[SimProcess] = []
 
+    def reset(self) -> None:
+        """Return the engine to its freshly-constructed state.
+
+        Restarting ``_seq`` at zero is the load-bearing part: sequence
+        numbers are the same-timestamp tie-breaker, so a warm engine must
+        hand out the exact sequence stream a fresh engine would or event
+        ordering (and every simulated microsecond downstream) diverges.
+        """
+        self.now = 0.0
+        self.events_processed = 0
+        self._heap.clear()
+        self._ready.clear()
+        self._seq = itertools.count()
+        self._pid_counter = itertools.count(1000)
+        self._procs.clear()
+
     # -- scheduling --------------------------------------------------------
 
     def _push(self, dt: float, kind: int, a: Any, b: Any) -> None:

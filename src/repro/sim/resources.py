@@ -66,6 +66,15 @@ class Mutex:
         self.total_wait_us = 0.0
         self.max_contenders = 0
 
+    def reset(self) -> None:
+        """Drop holder/waiter state and statistics (fresh-construction state)."""
+        self.holder = None
+        self._waiters.clear()
+        self._socket_counts.clear()
+        self.acquisitions = 0
+        self.total_wait_us = 0.0
+        self.max_contenders = 0
+
     # -- observability -------------------------------------------------------
 
     @property
@@ -155,6 +164,14 @@ class Semaphore:
         self.capacity = capacity
         self.available = capacity
         self._waiters: deque[tuple["SimProcess", float]] = deque()
+        self.acquisitions = 0
+        self.total_wait_us = 0.0
+        self.max_waiters = 0
+
+    def reset(self) -> None:
+        """Restore full capacity and drop waiters/statistics."""
+        self.available = self.capacity
+        self._waiters.clear()
         self.acquisitions = 0
         self.total_wait_us = 0.0
         self.max_waiters = 0

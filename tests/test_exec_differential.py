@@ -115,13 +115,13 @@ def test_run_experiment_cache_warm_is_cheaper(tmp_path, monkeypatch):
     at least 5x fewer ``run_collective`` invocations than a cold one, and
     produces identical output."""
     calls = {"n": 0}
-    real = sweep_mod._run_collective_fresh
+    real = sweep_mod._compute_collective
 
-    def counting(spec):
+    def counting(spec, warm):
         calls["n"] += 1
-        return real(spec)
+        return real(spec, warm)
 
-    monkeypatch.setattr(sweep_mod, "_run_collective_fresh", counting)
+    monkeypatch.setattr(sweep_mod, "_compute_collective", counting)
 
     cache = ResultCache(tmp_path / "cache")
     cold = run_experiment("fig07", quick=True, workers=1, cache=cache)

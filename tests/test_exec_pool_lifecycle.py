@@ -1,0 +1,97 @@
+"""Process-pool lifecycle: no leaked workers, graceful mid-flight breakage.
+
+Two failure paths through :func:`repro.exec.pool.map_points` historically
+leaked worker processes or lost results:
+
+* ``fn`` raising — ``executor.map`` re-raises in the caller, and a
+  throwaway pool must still be shut down (workers reaped, not orphaned);
+* a worker dying mid-map (``BrokenProcessPool``) — the broken pool must be
+  torn down *before* the serial fallback recomputes every point, and the
+  fallback must return exactly what a serial run would, in order.
+"""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.exec.pool import map_points
+
+_PARENT_ENV = "_REPRO_TEST_PARENT_PID"
+
+
+def _double(x):
+    return x * 2
+
+
+def _raise_on_three(x):
+    if x == 3:
+        raise ValueError("boom at 3")
+    return x
+
+
+def _die_in_worker(x):
+    # Only the pool's worker processes self-destruct; the serial fallback
+    # runs this in the parent (whose pid matches the env marker) and
+    # computes normally.
+    if os.getpid() != int(os.environ.get(_PARENT_ENV, "-1")):
+        os._exit(1)
+    return x * 10
+
+
+def _assert_no_new_children(before, deadline_s=10.0):
+    """Workers from a shut-down pool must be reaped, not orphaned."""
+    deadline = time.monotonic() + deadline_s
+    while True:
+        leftover = [p for p in multiprocessing.active_children()
+                    if p.pid not in before]
+        if not leftover:
+            return
+        if time.monotonic() > deadline:
+            raise AssertionError(f"stray pool workers survived: {leftover}")
+        time.sleep(0.05)
+
+
+def _live_pids():
+    return {p.pid for p in multiprocessing.active_children()}
+
+
+def test_successful_map_leaves_no_stray_workers():
+    before = _live_pids()
+    assert map_points(_double, list(range(16)), workers=2) == [
+        x * 2 for x in range(16)
+    ]
+    _assert_no_new_children(before)
+
+
+def test_failed_map_raises_and_leaves_no_stray_workers():
+    before = _live_pids()
+    with pytest.raises(ValueError, match="boom at 3"):
+        map_points(_raise_on_three, list(range(8)), workers=2)
+    _assert_no_new_children(before)
+
+
+def test_broken_pool_mid_flight_falls_back_to_serial_results():
+    os.environ[_PARENT_ENV] = str(os.getpid())
+    try:
+        before = _live_pids()
+        points = list(range(12))
+        got = map_points(_die_in_worker, points, workers=2)
+        assert got == [x * 10 for x in points], (
+            "fallback must return the exact serial results, in input order"
+        )
+        _assert_no_new_children(before)
+    finally:
+        os.environ.pop(_PARENT_ENV, None)
+
+
+def test_caller_owned_executor_survives_fn_failure():
+    """map_points must not shut down an executor it did not create."""
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=2) as ex:
+        with pytest.raises(ValueError):
+            map_points(_raise_on_three, list(range(8)), workers=2, executor=ex)
+        # the caller's pool is still usable afterwards
+        assert list(ex.map(_double, [1, 2, 3])) == [2, 4, 6]

@@ -1,0 +1,120 @@
+"""Pattern memoization must be observably transparent.
+
+:func:`repro.core.patterns.pattern` (and the stacked/reduced variants) now
+memoize their arrays.  The contract: a cached block is byte-identical to a
+fresh computation, is read-only so no caller can corrupt it for everyone
+else, and a full simulated collective never mutates one in place — fill
+sites copy into buffers (``buf.view(...)[:] = pattern(...)``), they never
+alias.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import patterns
+from repro.core.patterns import (
+    _block_stack,
+    _pattern_raw,
+    _reduce_expected,
+    _stack_raw,
+    pattern,
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    a=st.integers(min_value=0, max_value=300),
+    b=st.integers(min_value=0, max_value=300),
+    eta=st.integers(min_value=1, max_value=20_000),
+)
+def test_cached_pattern_equals_uncached(a, b, eta):
+    cached = pattern(a, b, eta)
+    raw = _pattern_raw(a, b, eta)
+    assert cached.dtype == np.uint8
+    assert np.array_equal(cached, raw)
+    # calling again returns equal bytes (and the identical object while the
+    # memo holds it, though identity is not part of the contract)
+    assert np.array_equal(pattern(a, b, eta), raw)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    a=st.integers(min_value=0, max_value=300),
+    b=st.integers(min_value=0, max_value=300),
+    eta=st.integers(min_value=1, max_value=20_000),
+)
+def test_pattern_blocks_are_read_only(a, b, eta):
+    blk = pattern(a, b, eta)
+    assert not blk.flags.writeable
+    with pytest.raises(ValueError):
+        blk[0] = 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    pairs=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=40),
+            st.integers(min_value=0, max_value=40),
+        ),
+        min_size=1,
+        max_size=12,
+    ),
+    eta=st.integers(min_value=1, max_value=5_000),
+)
+def test_block_stack_matches_per_block_patterns(pairs, eta):
+    pairs = tuple(pairs)
+    stacked = _block_stack(pairs, eta)
+    assert not stacked.flags.writeable
+    assert np.array_equal(stacked, _stack_raw(pairs, eta))
+    expect = np.concatenate([_pattern_raw(a, b, eta) for a, b in pairs])
+    assert np.array_equal(stacked, expect)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    p=st.integers(min_value=2, max_value=24),
+    eta=st.integers(min_value=1, max_value=5_000),
+)
+def test_reduce_expected_matches_elementwise_sum(p, eta):
+    got = _reduce_expected(p, eta)
+    total = np.zeros(eta, dtype=np.uint32)
+    for r in range(p):
+        total += _pattern_raw(r, 0, eta).astype(np.uint32)
+    assert np.array_equal(got, (total % 256).astype(np.uint8))
+
+
+def test_large_blocks_bypass_memo_but_stay_read_only():
+    eta = patterns._MEMO_BLOCK_LIMIT + 1
+    blk = pattern(0, 0, eta)
+    assert not blk.flags.writeable
+    assert blk is not pattern(0, 0, eta)  # recomputed, not pinned in memory
+    assert np.array_equal(blk, _pattern_raw(0, 0, eta))
+
+
+def test_collectives_do_not_mutate_cached_blocks():
+    """End to end: running verified collectives (which fill and check every
+    buffer) must leave each memoized pattern block bit-identical to a fresh
+    recomputation — i.e. no fill/verify site writes through a cached array."""
+    from repro.core.runner import CollectiveSpec, run_collective
+    from repro.machine import get_arch
+
+    arch = get_arch("knl")
+    eta = 2048
+    for coll, alg, params in (
+        ("scatter", "throttled_read", {"k": 2}),
+        ("gather", "parallel_write", {}),
+        ("alltoall", "pairwise", {}),
+        ("allgather", "ring_source_read", {}),
+        ("allreduce", "ring", {}),
+    ):
+        run_collective(
+            CollectiveSpec(coll, alg, arch, procs=6, eta=eta, params=params)
+        )
+
+    # these (a, b, eta) keys were served from the memo during the runs above
+    for a in range(6):
+        for b in range(6):
+            assert np.array_equal(pattern(a, b, eta), _pattern_raw(a, b, eta)), (a, b)

@@ -54,14 +54,39 @@ def test_payload_is_json_serialisable(result):
     assert json.loads(json.dumps(result)) == result
 
 
-def _payload(**ev_per_sec):
-    return {
+def test_sweep_section_reports_fresh_and_warm_rates(result):
+    assert result["sweep"], "smoke sweep section must not be empty"
+    for name, r in result["sweep"].items():
+        assert r["points"] > 0
+        for mode in ("fresh", "warm"):
+            assert r[mode]["wall_s"] > 0
+            assert r[mode]["points_per_sec"] == pytest.approx(
+                r["points"] / r[mode]["wall_s"], rel=1e-2
+            )
+        assert r["warm_speedup"] == pytest.approx(
+            r["fresh"]["wall_s"] / r["warm"]["wall_s"], rel=1e-2
+        )
+
+
+def _payload(sweep=None, **ev_per_sec):
+    payload = {
         "schema": perfsuite.SCHEMA,
         "engine": {
             name: {"events": 1000, "wall_s": 0.1, "events_per_sec": v}
             for name, v in ev_per_sec.items()
         },
     }
+    if sweep is not None:
+        payload["sweep"] = {
+            name: {
+                "points": 9,
+                "fresh": {"wall_s": 1.0, "points_per_sec": pts / 1.5},
+                "warm": {"wall_s": 1.0, "points_per_sec": pts},
+                "warm_speedup": 1.5,
+            }
+            for name, pts in sweep.items()
+        }
+    return payload
 
 
 def test_check_regression_passes_within_factor():
@@ -82,6 +107,52 @@ def test_check_regression_ignores_benches_missing_from_baseline():
     base = _payload(zero_delay=1000.0)
     cur = _payload(zero_delay=1000.0, timer_heap=1.0)
     assert perfsuite.check_regression(cur, base) == []
+
+
+def test_check_sections_flags_sweep_regression_separately():
+    base = _payload(zero_delay=1000.0, sweep={"fig07_scatter_knl": 600.0})
+    cur = _payload(zero_delay=1000.0, sweep={"fig07_scatter_knl": 100.0})
+    sections = perfsuite.check_sections(cur, base, factor=2.0)
+    assert sections["engine"] == []
+    assert len(sections["sweep"]) == 1
+    assert "fig07_scatter_knl" in sections["sweep"][0]
+    assert "warm points/s" in sections["sweep"][0]
+
+
+def test_check_sections_passes_sweep_within_factor_and_skips_missing():
+    base = _payload(zero_delay=1000.0, sweep={"fig07_scatter_knl": 600.0})
+    cur = _payload(
+        zero_delay=1000.0,
+        sweep={"fig07_scatter_knl": 350.0, "new_slice_not_in_baseline": 1.0},
+    )
+    sections = perfsuite.check_sections(cur, base, factor=2.0)
+    assert sections == {"engine": [], "sweep": []}
+
+
+def test_summary_lines_one_per_section():
+    cur = _payload(zero_delay=1000.0, sweep={"fig07_scatter_knl": 600.0})
+    cur["engine"]["overall_events_per_sec"] = 123456.0
+    sections = {"engine": [], "sweep": ["fig07_scatter_knl: slow"]}
+    lines = perfsuite._summary_lines(cur, sections)
+    assert len(lines) == 2
+    assert lines[0].startswith("perf engine: PASS")
+    assert "123,456 events/sec" in lines[0]
+    assert lines[1].startswith("perf sweep: FAIL")
+    assert "fig07_scatter_knl 600.0 pts/s" in lines[1]
+    assert "1 regression(s)" in lines[1]
+
+
+def test_step_summary_written_when_env_set(tmp_path, monkeypatch):
+    path = tmp_path / "summary.md"
+    monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(path))
+    perfsuite._write_step_summary(["perf engine: PASS — fast"])
+    perfsuite._write_step_summary(["perf sweep: PASS — faster"])
+    assert path.read_text() == (
+        "- perf engine: PASS — fast\n- perf sweep: PASS — faster\n"
+    )
+    monkeypatch.delenv("GITHUB_STEP_SUMMARY")
+    perfsuite._write_step_summary(["never written"])
+    assert "never written" not in path.read_text()
 
 
 def test_cli_writes_output_and_self_check_passes(tmp_path, capsys):
