@@ -27,9 +27,26 @@ import time
 from pathlib import Path
 from typing import Callable, Optional
 
-__all__ = ["run_suite", "main", "SCHEMA"]
+__all__ = ["run_suite", "main", "SCHEMA", "GATED_SECTIONS", "GATE_FACTOR"]
 
 SCHEMA = "bench-engine-v1"
+
+#: Sections whose regressions fail ``--check`` (CI).  The remaining
+#: sections (``engine``, ``sweep``) are reported but non-gating: they are
+#: dominated by host noise on shared CI runners, while ``convoy`` and
+#: ``fig07`` directly cover the convoy fast-forward fast path this repo's
+#: perf work centres on — losing it shows up as a >3x events/sec drop.
+GATED_SECTIONS = ("convoy", "fig07")
+
+#: Regression factor for the gated sections.
+GATE_FACTOR = 3.0
+
+#: Convoy bench: contended pure pin convoys at these reader counts.
+CONVOY_READERS = (2, 8, 32, 64)
+#: pin batches per reader: (full, smoke).  The smoke size stays large
+#: enough that per-run setup doesn't dominate the events/sec rate — the
+#: CI gate compares a smoke run against the committed full-size baseline.
+CONVOY_ROUNDS = (500, 250)
 
 # Engine-bench workload sizes: (full, smoke).
 _SIZES = {
@@ -225,29 +242,84 @@ def _time_engine_bench(name: str, smoke: bool, repeats: int) -> dict:
     }
 
 
+def _bench_convoy(readers: int, rounds: int):
+    """Contended pure pin convoys: the steady-state fast-forward workload.
+
+    Every contender is a :class:`~repro.sim.engine.PinConvoy` member with
+    no copy time between batches, so after the first grants the epoch is
+    closed and pure — exactly the regime the engine collapses to its
+    closed-form loop.  The hold model mirrors the mm-lock bounce shape
+    (pure in the contender profile, hence memoisable).
+    """
+    from repro.sim.engine import PinConvoy, Simulator
+    from repro.sim.resources import Mutex
+
+    sim = Simulator()
+    lock = Mutex(sim, "mm")
+    memo: dict = {}
+
+    def hold(pages, proc):
+        same, other = lock.contention_profile(proc.socket)
+        return pages * 0.05 + 0.8 * max(same - 1, 0) + 2.4 * other
+
+    def worker():
+        yield PinConvoy(lock, hold, [(16, 0.0)] * rounds, memo=memo)
+
+    for i in range(readers):
+        sim.spawn(worker(), name=f"r{i}", socket=i % 2)
+    sim.run()
+    return sim
+
+
+def _run_convoy_bench(smoke: bool, repeats: int) -> dict:
+    rounds = CONVOY_ROUNDS[1 if smoke else 0]
+    out = {}
+    for readers in CONVOY_READERS:
+        best = float("inf")
+        events = 0
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            sim = _bench_convoy(readers, rounds)
+            best = min(best, time.perf_counter() - t0)
+            events = sim.events_processed
+        out[f"c{readers}"] = {
+            "events": events,
+            "wall_s": round(best, 6),
+            "events_per_sec": round(events / best, 1),
+        }
+    return out
+
+
 # --------------------------------------------------------------------------
 # End-to-end slices (uncached, serial: no exec context is active here, so
 # the @_sweepable microbenches run as plain calls).
 # --------------------------------------------------------------------------
 
 
-def _run_fig03_slice(points) -> dict:
+def _run_fig03_slice(points, repeats: int) -> dict:
     from repro.bench.microbench import one_to_all_latency
     from repro.machine import get_arch
 
     out = {}
     for arch, readers, nbytes in points:
-        t0 = time.perf_counter()
-        lat = one_to_all_latency(get_arch(arch), readers, nbytes)
-        wall = time.perf_counter() - t0
+        best = float("inf")
+        lat = None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            lat = one_to_all_latency(get_arch(arch), readers, nbytes)
+            best = min(best, time.perf_counter() - t0)
         out[f"{arch}/{readers}r/{nbytes}"] = {
             "latency_us": lat,
-            "wall_s": round(wall, 4),
+            "wall_s": round(best, 4),
         }
     return out
 
 
-def _run_fig07_slice(specs) -> dict:
+def _run_fig07_slice(specs, repeats: int) -> dict:
+    """Best-of-``repeats`` wall time per point (latencies are identical
+    across repeats — the simulator is deterministic).  A single cold run
+    would fold interpreter/import warm-up into the first point's rate and
+    make the events/sec gate meaningless across revisions."""
     from repro.core.runner import CollectiveSpec, run_collective
     from repro.machine import get_arch
 
@@ -256,14 +328,17 @@ def _run_fig07_slice(specs) -> dict:
         spec = CollectiveSpec(
             "scatter", alg, get_arch("knl"), procs=12, eta=eta, params=params
         )
-        t0 = time.perf_counter()
-        res = run_collective(spec)
-        wall = time.perf_counter() - t0
+        best = float("inf")
+        res = None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            res = run_collective(spec)
+            best = min(best, time.perf_counter() - t0)
         out[f"{alg}/{eta}"] = {
             "latency_us": res.latency_us,
             "sim_events": res.sim_events,
-            "wall_s": round(wall, 4),
-            "events_per_sec": round(res.sim_events / wall, 1) if wall else None,
+            "wall_s": round(best, 4),
+            "events_per_sec": round(res.sim_events / best, 1) if best else None,
         }
     return out
 
@@ -339,8 +414,13 @@ def run_suite(smoke: bool = False, repeats: Optional[int] = None) -> dict:
         "schema": SCHEMA,
         "smoke": smoke,
         "engine": engine,
-        "fig03": _run_fig03_slice(FIG03_SLICE_SMOKE if smoke else FIG03_SLICE),
-        "fig07": _run_fig07_slice(FIG07_SLICE_SMOKE if smoke else FIG07_SLICE),
+        "convoy": _run_convoy_bench(smoke, repeats),
+        "fig03": _run_fig03_slice(
+            FIG03_SLICE_SMOKE if smoke else FIG03_SLICE, repeats
+        ),
+        "fig07": _run_fig07_slice(
+            FIG07_SLICE_SMOKE if smoke else FIG07_SLICE, repeats
+        ),
         "sweep": {
             name: _run_sweep_bench(sl, repeats) for name, sl in slices.items()
         },
@@ -353,7 +433,8 @@ def run_suite(smoke: bool = False, repeats: Optional[int] = None) -> dict:
 
 
 def check_sections(
-    result: dict, baseline: dict, factor: float = 2.0
+    result: dict, baseline: dict, factor: float = 2.0,
+    gate_factor: float = GATE_FACTOR,
 ) -> dict[str, list[str]]:
     """Per-section regression failures vs ``baseline``.
 
@@ -361,7 +442,10 @@ def check_sections(
     the deliberately loose ``factor`` (2x) gate: it catches "the fast path
     fell off", not single-digit-percent drift.  ``engine`` compares
     events/sec per microbench; ``sweep`` compares warm points/sec per
-    slice.  Sections missing from either side are skipped.
+    slice; ``convoy`` and ``fig07`` compare events/sec per point at
+    ``gate_factor`` — only those two sections fail CI (see
+    :data:`GATED_SECTIONS`).  Sections missing from either side are
+    skipped.
     """
     sections: dict[str, list[str]] = {}
     failures: list[str] = []
@@ -378,6 +462,25 @@ def check_sections(
                 f"{ref['events_per_sec']:.0f} ev/s (>{factor:g}x regression)"
             )
     sections["engine"] = failures
+    for sec in GATED_SECTIONS:
+        if sec not in result:
+            continue
+        failures = []
+        base = baseline.get(sec, {})
+        for name, r in result[sec].items():
+            ref = base.get(name)
+            if not isinstance(ref, dict):
+                continue
+            cur = r.get("events_per_sec")
+            refv = ref.get("events_per_sec")
+            if cur is None or refv is None:
+                continue
+            if cur * gate_factor < refv:
+                failures.append(
+                    f"{name}: {cur:.0f} ev/s vs baseline {refv:.0f} ev/s "
+                    f"(>{gate_factor:g}x regression)"
+                )
+        sections[sec] = failures
     if "sweep" in result:
         failures = []
         base = baseline.get("sweep", {})
@@ -412,6 +515,12 @@ def _summary_lines(result: dict, sections: dict[str, list[str]]) -> list[str]:
         status = "FAIL" if fails else "PASS"
         if sec == "engine":
             metric = f"{result['engine']['overall_events_per_sec']:,.0f} events/sec overall"
+        elif sec in GATED_SECTIONS:
+            metric = ", ".join(
+                f"{name} {r['events_per_sec']:,.0f} ev/s"
+                for name, r in result[sec].items()
+                if r.get("events_per_sec")
+            ) or "no points"
         else:
             pps = ", ".join(
                 f"{name} {r['warm']['points_per_sec']:.1f} pts/s "
@@ -419,8 +528,9 @@ def _summary_lines(result: dict, sections: dict[str, list[str]]) -> list[str]:
                 for name, r in result["sweep"].items()
             )
             metric = pps or "no slices"
+        gate = "" if sec in GATED_SECTIONS else " [non-gating]"
         detail = f"; {len(fails)} regression(s)" if fails else ""
-        lines.append(f"perf {sec}: {status} — {metric}{detail}")
+        lines.append(f"perf {sec}: {status}{gate} — {metric}{detail}")
     return lines
 
 
@@ -472,6 +582,11 @@ def main(argv=None) -> int:
                 f"engine {name:<18} {r['events']:>7} events  "
                 f"{r['wall_s']*1e3:8.1f} ms  {r['events_per_sec']:>12,.0f} ev/s"
             )
+    for name, r in result["convoy"].items():
+        print(
+            f"convoy {name:<18} {r['events']:>7} events  "
+            f"{r['wall_s']*1e3:8.1f} ms  {r['events_per_sec']:>12,.0f} ev/s"
+        )
     for section in ("fig03", "fig07"):
         for key, r in result[section].items():
             print(f"{section} {key:<24} {r['wall_s']*1e3:8.1f} ms  "
@@ -495,13 +610,24 @@ def main(argv=None) -> int:
         for line in lines:
             print(line)
         _write_step_summary(lines)
-        failures = [f for fails in sections.values() for f in fails]
-        if failures:
+        gating = [
+            f for sec in GATED_SECTIONS for f in sections.get(sec, [])
+        ]
+        advisory = [
+            f for sec, fails in sections.items()
+            if sec not in GATED_SECTIONS for f in fails
+        ]
+        for f in advisory:
+            print(f"  (non-gating) {f}")
+        if gating:
             print("PERF REGRESSION vs baseline:")
-            for f in failures:
+            for f in gating:
                 print(f"  {f}")
             return 1
-        print(f"no >2x regression vs {args.check}")
+        print(
+            f"no >{GATE_FACTOR:g}x regression in gated sections "
+            f"({', '.join(GATED_SECTIONS)}) vs {args.check}"
+        )
     return 0
 
 

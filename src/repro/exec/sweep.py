@@ -52,6 +52,7 @@ def sweep(
     points: Sequence[Any],
     payloads: Optional[Sequence[Any]] = None,
     decode: Optional[Callable[[Any, int], Any]] = None,
+    group_key: Optional[Callable[[Any], Any]] = None,
 ) -> List[Any]:
     """Run ``runner`` over ``points`` under the active context.
 
@@ -62,6 +63,14 @@ def sweep(
     — applied *before* ``cache.put``, so the on-disk cache always stores
     full values and stays byte-compatible with entries written by older
     code under the same ``CACHE_VERSION``.
+
+    ``group_key`` reorders the cache *misses* before dispatch so points
+    with equal keys land adjacently in worker chunks (ties keep input
+    order).  Used to group points by warm-node pool key: a worker that
+    receives same-keyed points back to back reuses one simulated node
+    instead of rotating through the pool.  Results are still returned in
+    input order, and each point is simulated on a fresh-or-reset node
+    either way, so values are unaffected.
     """
     ctx = _context.current()
     cache = ctx.cache if ctx is not None else None
@@ -80,6 +89,8 @@ def sweep(
                 results[i] = value
                 continue
         miss.append(i)
+    if group_key is not None and len(miss) > 1:
+        miss.sort(key=lambda i: (group_key(points[i]), i))
     run_wall = 0.0
     sim_events = 0
     if miss:
@@ -220,6 +231,14 @@ def _exec_point(pt: _CollectivePoint) -> _SlimResult:
     )
 
 
+def _pool_group_key(pt: _CollectivePoint) -> Tuple[str, int, bool, bool]:
+    """Warm-node pool key of a point (:class:`~repro.core.runner.NodePool`
+    keys nodes on exactly this tuple), stringly ordered for sorting."""
+    arch = pt.arch
+    name = arch if isinstance(arch, str) else str(getattr(arch, "name", ""))
+    return (name, pt.procs, pt.verify, pt.trace)
+
+
 def _inflate_result(raw: Any, spec: CollectiveSpec) -> CollectiveResult:
     if isinstance(raw, CollectiveResult):  # a patched runner returned it whole
         return raw
@@ -251,6 +270,7 @@ def run_specs(specs: Iterable[CollectiveSpec]) -> List[CollectiveResult]:
         points,
         payloads=specs,
         decode=lambda raw, i: _inflate_result(raw, specs[i]),
+        group_key=_pool_group_key,
     )
 
 

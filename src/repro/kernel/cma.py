@@ -25,7 +25,7 @@ from typing import TYPE_CHECKING, Generator, Optional, Sequence
 from repro.kernel.address_space import AddressSpaceManager, copy_iov_bytes
 from repro.kernel.errors import CMAError, EINVAL, EPERM
 from repro.kernel.pagelock import MMLock
-from repro.sim.engine import Acquire, Delay, DelayChain, HoldRelease
+from repro.sim.engine import Acquire, Delay, DelayChain, HoldRelease, PinConvoy
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.machine.params import ModelParams
@@ -263,24 +263,48 @@ class CMAKernel:
 
         # --- 3+4. pin a batch, copy it, pin the next ... ---
         # Same batching as the traced path; the pin hold, the release, and
-        # the batch's pro-rata copy share ride one HoldRelease record.
+        # the batch's pro-rata copy share ride one HoldRelease record —
+        # or, by default, the whole loop rides one PinConvoy command.
         npages = remote_space.total_pages(remote_iov)
         ncopy = min(local_total, remote_total)
         beta = self.copy_beta(caller, pid)
         mm = self._mm_locks[pid]
-        mutex = mm.mutex
         pin_batch = p.pin_batch
-        done_pages = 0
-        done_bytes = 0
-        while done_pages < npages:
-            b = min(pin_batch, npages - done_pages)
-            yield Acquire(mutex)
-            hold = mm.hold_time(b, caller)
-            done_pages += b
-            batch_bytes = ncopy * done_pages // npages - done_bytes
-            done_bytes += batch_bytes
-            yield HoldRelease(mutex, hold, batch_bytes * beta)
-            mm.pages_pinned += b
+        if self.sim.use_pin_convoy:
+            # Precompute the batch plan: batch sizes and pro-rata copy
+            # shares are pure integer arithmetic with no dependence on
+            # simulation state, and ``batch_bytes * beta`` is the same
+            # single multiplication the unfused loop performs, so the
+            # extra_dt floats are bit-identical — only computed up front.
+            # hold_time stays inside the engine's grant handler, where
+            # the contender set is live.
+            batches = []
+            done_pages = 0
+            done_bytes = 0
+            while done_pages < npages:
+                b = min(pin_batch, npages - done_pages)
+                done_pages += b
+                batch_bytes = ncopy * done_pages // npages - done_bytes
+                done_bytes += batch_bytes
+                batches.append((b, batch_bytes * beta))
+            yield PinConvoy(
+                mm.mutex, mm.hold_time, batches, mm=mm, npages=npages,
+                memo=mm._hold_memo,
+            )
+        else:
+            # Unfused reference path for the convoy differential battery.
+            mutex = mm.mutex
+            done_pages = 0
+            done_bytes = 0
+            while done_pages < npages:
+                b = min(pin_batch, npages - done_pages)
+                yield Acquire(mutex)
+                hold = mm.hold_time(b, caller)
+                done_pages += b
+                batch_bytes = ncopy * done_pages // npages - done_bytes
+                done_bytes += batch_bytes
+                yield HoldRelease(mutex, hold, batch_bytes * beta)
+                mm.pages_pinned += b
 
         if ncopy > 0 and self.verify:
             caller_space = self.manager.get(caller.pid)

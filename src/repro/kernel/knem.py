@@ -6,6 +6,11 @@ declaration cost (and an extra control message to ship the cookie, paid at
 the MPI layer), but the data path still pins pages under the owner's mm
 lock, so it contends identically — the reason the paper's analysis applies
 to all three mechanisms (CMA, KNEM, LiMIC).
+
+The copies delegate to :meth:`CMAKernel.process_vm_readv`/``writev``, so
+untraced KNEM transfers ride the same fused
+:class:`~repro.sim.engine.PinConvoy` pin loop (and its steady-state epoch
+fast-forward) as plain CMA — no KNEM-specific engine path exists.
 """
 
 from __future__ import annotations

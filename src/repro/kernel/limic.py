@@ -6,6 +6,12 @@ and, unlike CMA, performs no per-call permission check (its device node
 gates access instead).  The data path again pins the owner's pages under
 the owner's mm lock, so contention behaviour matches CMA — which is why the
 paper's model covers all three mechanisms.
+
+Transfers delegate to :meth:`CMAKernel.process_vm_readv`/``writev``, so
+untraced LiMIC copies ride the same fused
+:class:`~repro.sim.engine.PinConvoy` pin loop (and its steady-state epoch
+fast-forward) as plain CMA — contention epochs collapse identically no
+matter which mechanism initiated the pin.
 """
 
 from __future__ import annotations

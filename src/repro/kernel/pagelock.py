@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Generator
 
-from repro.sim.engine import Acquire, Delay, HoldRelease, Release
+from repro.sim.engine import Acquire, Delay, HoldRelease, PinConvoy, Release
 from repro.sim.resources import Mutex
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -41,7 +41,8 @@ __all__ = ["MMLock"]
 class MMLock:
     """mm (page-table) lock of one simulated process."""
 
-    __slots__ = ("sim", "pid", "params", "mutex", "tracer", "pages_pinned")
+    __slots__ = ("sim", "pid", "params", "mutex", "tracer", "pages_pinned",
+                 "_hold_memo")
 
     def __init__(
         self,
@@ -56,14 +57,25 @@ class MMLock:
         self.mutex = Mutex(sim, name=f"mm[{pid}]")
         self.tracer = tracer
         self.pages_pinned = 0
+        #: engine-side hold-time memo, keyed (batch_pages, c_same, c_other).
+        #: Valid because :meth:`hold_time` is a pure function of exactly
+        #: that triple (``params`` are fixed at construction); passed to
+        #: :class:`~repro.sim.engine.PinConvoy` so steady convoys replace
+        #: the Python call with a dict hit returning the identical float.
+        self._hold_memo: dict = {}
 
     def reset(self) -> None:
         """Fresh-construction state: unheld mutex, zero pin counter."""
         self.mutex.reset()
         self.pages_pinned = 0
+        self._hold_memo.clear()
 
     def hold_time(self, batch_pages: int, caller: "SimProcess") -> float:
-        """Critical-section duration for pinning one batch, right now."""
+        """Critical-section duration for pinning one batch, right now.
+
+        Pure in ``(batch_pages, mutex.contention_profile(caller.socket))``
+        — the contract ``_hold_memo`` asserts to the engine.
+        """
         p = self.params
         c_same, c_other = self.mutex.contention_profile(caller.socket)
         # the caller itself is a contender (it holds the lock); exclude it
@@ -85,10 +97,29 @@ class MMLock:
         remaining = npages
         tracer = self.tracer
         if not tracer.enabled:
-            # Fast path: the delay-then-release pair rides one fused
-            # HoldRelease record — same event stream (timestamps, FIFO
-            # grant order, event count), one fewer generator resumption
-            # per batch.  Only the trace spans need the unfused timeline.
+            if self.sim.use_pin_convoy:
+                # Fast path: the whole pin loop rides one fused PinConvoy
+                # command — the engine replays the same per-batch
+                # grant/release/chain/rejoin records (same timestamps,
+                # FIFO grant order, sequence numbers and event counts;
+                # hold_time is still evaluated at grant time against live
+                # contender state) with no generator resumption per batch,
+                # and fast-forwards whole contended epochs while this
+                # lock's contenders are all convoy members.
+                batches = []
+                while remaining > 0:
+                    b = min(batch, remaining)
+                    batches.append((b, 0.0))
+                    remaining -= b
+                return (
+                    yield PinConvoy(
+                        self.mutex, self.hold_time, batches,
+                        mm=self, npages=npages, memo=self._hold_memo,
+                    )
+                )
+            # Unfused untraced path (Simulator(use_pin_convoy=False)):
+            # kept as the differential reference the convoy battery
+            # compares against.
             mutex = self.mutex
             while remaining > 0:
                 b = min(batch, remaining)
@@ -97,6 +128,9 @@ class MMLock:
                 self.pages_pinned += b
                 remaining -= b
             return npages
+        # Traced path: stays unfused — the 'lock'/'pin' spans need the
+        # per-batch wakeup timestamps (t_req/t_got) that fusing folds away,
+        # so tracing disables both HoldRelease fusion and PinConvoy.
         while remaining > 0:
             b = min(batch, remaining)
             t_req = self.sim.now
@@ -105,9 +139,8 @@ class MMLock:
             hold = self.hold_time(b, caller)
             yield Delay(hold)
             yield Release(self.mutex)
-            if tracer.enabled:
-                tracer.record(caller.name, "lock", t_req, t_got, meta=self.pid)
-                tracer.record(caller.name, "pin", t_got, t_got + hold, meta=b)
+            tracer.record(caller.name, "lock", t_req, t_got, meta=self.pid)
+            tracer.record(caller.name, "pin", t_got, t_got + hold, meta=b)
             self.pages_pinned += b
             remaining -= b
         return npages

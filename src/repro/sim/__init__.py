@@ -23,6 +23,7 @@ from repro.sim.engine import (
     Acquire,
     Release,
     HoldRelease,
+    PinConvoy,
     Join,
 )
 from repro.sim.resources import Mutex, Semaphore
@@ -39,6 +40,7 @@ __all__ = [
     "Acquire",
     "Release",
     "HoldRelease",
+    "PinConvoy",
     "Join",
     "Mutex",
     "Semaphore",

@@ -47,6 +47,7 @@ __all__ = [
     "Acquire",
     "Release",
     "Join",
+    "PinConvoy",
     "SimProcess",
     "Simulator",
 ]
@@ -160,6 +161,67 @@ class Release(Command):
         return f"Release({self.lock!r})"
 
 
+class PinConvoy(Command):
+    """Run a whole ``Acquire -> HoldRelease`` pin loop as engine records.
+
+    Yielded once per pin loop (by :meth:`repro.kernel.pagelock.MMLock.
+    lock_and_pin` and the untraced CMA data path) instead of one
+    ``Acquire`` + ``HoldRelease`` pair per batch.  ``batches`` is the
+    precomputed plan — a sequence of ``(pages, extra_dt)`` with the batch
+    size and the post-release continuation delay (the batch's pro-rata
+    copy share; ``extra_dt`` must be non-negative) — and ``hold_fn(pages,
+    proc)`` computes the critical-section length *at grant time*, against
+    live mutex state, exactly where the unfused generator computed it.
+
+    The event stream is bit-identical to the unfused loop — same
+    timestamps, FIFO grant order, tie-breaker sequence numbers, and event
+    counts — but every per-batch hop is a dispatch record instead of a
+    generator resumption, and while the lock's contender set consists
+    only of convoy members the engine fast-forwards whole epochs in a
+    local loop (see :meth:`Simulator._convoy_burst`).  The command
+    evaluates to ``npages``.  ``mm`` (optional) is a counter object whose
+    ``pages_pinned`` attribute is bumped by ``pages`` at each batch's
+    rejoin point, mirroring the unfused bookkeeping position.
+
+    ``memo`` (optional) is a hold-time memo dict owned by the caller.
+    Passing it asserts that ``hold_fn(pages, proc)`` is a *pure* function
+    of ``(pages, lock.contention_profile(proc.socket))`` — true for the
+    mm-lock bounce model, whose only inputs are the batch size and the
+    per-socket contender split.  The engine then caches hold values
+    under that key: in a steady convoy the contender profile repeats
+    every round, so the Python-level ``hold_fn`` call collapses to a
+    dict hit returning the exact float it would have computed.
+
+    ``pure`` (derived) is True when every ``extra_dt`` is ``0.0`` — a
+    *pure pin loop* (no interleaved copies).  For pure convoys nothing
+    is ever in flight except the current holder's release, so the epoch
+    fast-forward can run rounds as straight-line code with no heap at
+    all (the closed form of the steady state).
+    """
+
+    __slots__ = ("lock", "hold_fn", "batches", "mm", "npages", "memo", "pure")
+
+    def __init__(self, lock, hold_fn, batches, mm=None, npages: int = 0,
+                 memo=None):
+        if not batches:
+            raise SimError("PinConvoy needs at least one batch")
+        self.lock = lock
+        self.hold_fn = hold_fn
+        self.batches = batches
+        self.mm = mm
+        self.npages = npages
+        self.memo = memo
+        pure = True
+        for _, extra in batches:
+            if extra != 0.0:
+                pure = False
+                break
+        self.pure = pure
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"PinConvoy({self.lock!r}, {len(self.batches)} batches)"
+
+
 class Join(Command):
     """Block until another process finishes; evaluates to its return value."""
 
@@ -189,6 +251,33 @@ _K_CALL = 2     # a=fn,      b=None       -> fn()           (public schedule())
 _K_DELIVER = 3  # a=mailbox, b=msg        -> mailbox.deliver(msg)
 _K_CHAIN = 4    # a=proc,    b=d2         -> resume now (d2==0) or in d2
 _K_RELEASE = 5  # a=proc,    b=(lock, d2) -> release lock, then chain d2
+# Convoy records (a=_Convoy, b=None): the four hops of one pin batch.  They
+# shadow the unfused stream record-for-record — grant (_K_RESUME there),
+# release (_K_RELEASE), chain (_K_CHAIN), rejoin (_K_RESUME) — so counts
+# and sequence-number allocation points are identical; only the generator
+# stays parked until the last batch.
+_K_CGRANT = 6    # lock granted: compute hold_time, schedule the release
+_K_CRELEASE = 7  # hold elapsed: release the lock, chain to the rejoin
+_K_CCHAIN = 8    # post-release: rejoin now (extra==0) or after extra
+_K_CREJOIN = 9   # batch done: count pages, next acquire or resume the proc
+
+
+class _Convoy:
+    """Engine-side state of one process's in-flight :class:`PinConvoy`."""
+
+    __slots__ = ("proc", "lock", "hold_fn", "batches", "idx", "mm", "npages",
+                 "memo", "pure")
+
+    def __init__(self, proc: "SimProcess", cmd: PinConvoy):
+        self.proc = proc
+        self.lock = cmd.lock
+        self.hold_fn = cmd.hold_fn
+        self.batches = cmd.batches
+        self.idx = 0
+        self.mm = cmd.mm
+        self.npages = cmd.npages
+        self.memo = cmd.memo
+        self.pure = cmd.pure
 
 
 class SimProcess:
@@ -210,6 +299,7 @@ class SimProcess:
         "result",
         "error",
         "finish_time",
+        "convoy",
         "_joiners",
         "_send",
         "_gthrow",
@@ -226,6 +316,8 @@ class SimProcess:
         self.result: Any = None
         self.error: Optional[BaseException] = None
         self.finish_time: Optional[float] = None
+        #: in-flight PinConvoy state; mutexes route grants on it
+        self.convoy: Optional[_Convoy] = None
         self._joiners: list[SimProcess] = []
         # Bound once: every resumption would otherwise pay two attribute
         # lookups (proc.gen.send) in the hottest line of the simulator.
@@ -252,16 +344,29 @@ class Simulator:
 
     ``use_ready_queue=False`` disables the zero-delay fast path (every
     record goes through the heap); results are identical, only slower —
-    the differential stress test relies on this.
+    the differential stress test relies on this.  ``use_pin_convoy=False``
+    tells the kernel layers to keep their per-batch ``Acquire``/
+    ``HoldRelease`` loops instead of yielding :class:`PinConvoy`, and
+    ``use_convoy_burst=False`` keeps PinConvoy in record-at-a-time mode
+    (no epoch fast-forward); all four combinations are bit-identical —
+    the convoy differential battery relies on this.
     """
 
-    def __init__(self, max_events: int = 200_000_000, use_ready_queue: bool = True):
+    def __init__(
+        self,
+        max_events: int = 200_000_000,
+        use_ready_queue: bool = True,
+        use_pin_convoy: bool = True,
+        use_convoy_burst: bool = True,
+    ):
         self.now: float = 0.0
         self.max_events = max_events
         self.events_processed = 0
         self._heap: list[tuple] = []
         self._ready: deque[tuple] = deque()
         self._use_ready = use_ready_queue
+        self.use_pin_convoy = use_pin_convoy
+        self._use_burst = use_convoy_burst
         self._seq = itertools.count()
         self._pid_counter = itertools.count(1000)  # PIDs look like real PIDs
         self._procs: list[SimProcess] = []
@@ -367,6 +472,7 @@ class Simulator:
         heappush = heapq.heappush
         next_seq = self._seq.__next__
         use_ready = self._use_ready
+        use_burst = self._use_burst
         max_events = self.max_events
         throw = self._throw
         push = self._push
@@ -429,6 +535,124 @@ class Simulator:
                         finish(a, None, exc)
                     else:
                         push(0.0, _K_CHAIN, a, extra)
+                    continue
+                elif kind == _K_CRELEASE:
+                    conv = a
+                    lock = conv.lock
+                    if (
+                        use_burst
+                        and not ready
+                        and (lock._convoy_gen == lock.generation
+                             or lock._convoy_closed())
+                    ):
+                        # Closed epoch, no pending same-time work: fast-
+                        # forward the convoy until something external is
+                        # due (or a member finishes and must be resumed).
+                        delta, proc, value = self._convoy_burst(
+                            kind, conv, until, n
+                        )
+                        n += delta
+                        now = self.now
+                        if proc is None:
+                            continue
+                        # fall through: resume the finished member
+                    else:
+                        try:
+                            lock._release(conv.proc)
+                        except BaseException as exc:
+                            conv.proc.convoy = None
+                            finish(conv.proc, None, exc)
+                            continue
+                        if use_ready:
+                            ready_append((next_seq(), _K_CCHAIN, conv, None))
+                        else:
+                            heappush(
+                                heap, (now, next_seq(), _K_CCHAIN, conv, None)
+                            )
+                        continue
+                elif kind == _K_CCHAIN or kind == _K_CREJOIN:
+                    conv = a
+                    if kind == _K_CREJOIN and (
+                        use_burst
+                        and not ready
+                        and (conv.lock._convoy_gen == conv.lock.generation
+                             or conv.lock._convoy_closed())
+                    ):
+                        delta, proc, value = self._convoy_burst(
+                            kind, conv, until, n
+                        )
+                        n += delta
+                        now = self.now
+                        if proc is None:
+                            continue
+                        # fall through: resume the finished member
+                    else:
+                        if kind == _K_CCHAIN:
+                            extra = conv.batches[conv.idx][1]
+                            if extra != 0.0:
+                                heappush(
+                                    heap,
+                                    (now + extra, next_seq(),
+                                     _K_CREJOIN, conv, None),
+                                )
+                                continue
+                            # extra == 0: the rejoin runs inside this very
+                            # event, exactly where the unfused engine ran
+                            # its send.
+                        mm = conv.mm
+                        if mm is not None:
+                            mm.pages_pinned += conv.batches[conv.idx][0]
+                        conv.idx += 1
+                        if conv.idx < len(conv.batches):
+                            try:
+                                conv.lock._acquire(conv.proc)
+                            except BaseException as exc:
+                                conv.proc.convoy = None
+                                finish(conv.proc, None, exc)
+                            continue
+                        proc = conv.proc
+                        proc.convoy = None
+                        value = conv.npages
+                        # fall through: resume with the pin-loop result
+                elif kind == _K_CGRANT:
+                    conv = a
+                    hmemo = conv.memo
+                    hold = None
+                    if hmemo is not None:
+                        # hold_fn declared pure in (pages, contention
+                        # profile): a hit returns the exact float the
+                        # call would have computed.
+                        lk = conv.lock
+                        hsame = lk._socket_counts.get(conv.proc.socket, 0)
+                        hkey = (
+                            conv.batches[conv.idx][0],
+                            hsame,
+                            (1 if lk.holder is not None else 0)
+                            + len(lk._waiters) - hsame,
+                        )
+                        hold = hmemo.get(hkey)
+                    if hold is None:
+                        try:
+                            hold = conv.hold_fn(
+                                conv.batches[conv.idx][0], conv.proc
+                            )
+                            if hold < 0:
+                                raise SimError(
+                                    f"negative delay in hold ({hold!r})"
+                                )
+                        except BaseException as exc:
+                            conv.proc.convoy = None
+                            finish(conv.proc, None, exc)
+                            continue
+                        if hmemo is not None:
+                            hmemo[hkey] = hold
+                    if hold == 0.0 and use_ready:
+                        ready_append((next_seq(), _K_CRELEASE, conv, None))
+                    else:
+                        heappush(
+                            heap,
+                            (now + hold, next_seq(), _K_CRELEASE, conv, None),
+                        )
                     continue
                 elif kind == _K_CALL:
                     a()
@@ -493,6 +717,10 @@ class Simulator:
                             heappush(
                                 heap, (now + dt, next_seq(), _K_CHAIN, proc, cmd.d2)
                             )
+                    elif tc is PinConvoy:
+                        proc.state = _BLOCKED
+                        proc.convoy = _Convoy(proc, cmd)
+                        cmd.lock._acquire(proc)
                     else:
                         dispatch(proc, cmd)
                 except BaseException as exc:
@@ -529,6 +757,353 @@ class Simulator:
             if not p.done:
                 raise SimError(f"process {p.name} never completed")
         return self.now
+
+    # -- convoy fast-forward -------------------------------------------------
+
+    def _convoy_burst(self, kind: int, conv: _Convoy, until, n: int):
+        """Fast-forward a closed convoy epoch without the run-loop machinery.
+
+        Precondition (checked by the caller): the ready deque is empty and
+        every contender of ``conv.lock`` is a convoy member of that lock,
+        so until the next *real* heap record is due, the only runnable
+        events are this record and the convoy records it causally
+        produces.  Those are processed here in (time, seq) order: sequence
+        numbers still come off the global counter at the same causal
+        points, hold times are still computed against live mutex state at
+        grant time, the clock still advances per event, and the float
+        additions (``now + hold``, ``now + extra``) happen in the same
+        order on the same values — so timestamps, lock statistics, FIFO
+        grant order and event counts are bit-identical to record-at-a-time
+        execution.  The loop just never touches the big heap or the kind
+        dispatch, and nothing else can run meanwhile: no real record is
+        due, and convoy processing schedules nothing external.
+
+        The loop merges two sources in (time, seq) order: its local heap
+        of records it created, and — because earlier bursts/record-mode
+        stretches park convoy records in the real heap — same-epoch
+        convoy records sitting at the top of the real heap, which it
+        consumes directly.  Everything pre-burst carries a smaller
+        sequence number than anything burst-allocated, so at time ties
+        the real record correctly runs first, exactly as the run loop's
+        merge rule would order it.
+
+        Stops — materialising pending convoy records into the real heap
+        verbatim (they already have real-record format and causally
+        ordered sequence numbers) — when the real heap's next event is
+        *not* a record of this convoy and is due at or before the next
+        convoy record, when ``until`` would be crossed, or when a member
+        finishes its last batch.  Returns ``(extra_events, proc, value)``;
+        ``proc`` is non-None in the finished-member case and must be
+        resumed with ``value`` by the caller.
+        """
+        heap = self._heap
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        next_seq = self._seq.__next__
+        max_events = self.max_events
+        lock = conv.lock
+        now = self.now
+        cnt = 0
+        vheap: list[tuple] = []
+
+        while True:
+            if kind == _K_CRELEASE:
+                nxt = conv.lock._release_core(conv.proc)
+                if nxt is not None:
+                    heappush(
+                        vheap, (now, next_seq(), _K_CGRANT, nxt.convoy, None)
+                    )
+                heappush(vheap, (now, next_seq(), _K_CCHAIN, conv, None))
+            elif kind == _K_CGRANT:
+                proc = conv.proc
+                pages = conv.batches[conv.idx][0]
+                hmemo = conv.memo
+                hold = None
+                if hmemo is not None:
+                    hsame = lock._socket_counts.get(proc.socket, 0)
+                    hkey = (
+                        pages,
+                        hsame,
+                        (1 if lock.holder is not None else 0)
+                        + len(lock._waiters) - hsame,
+                    )
+                    hold = hmemo.get(hkey)
+                if hold is None:
+                    try:
+                        hold = conv.hold_fn(pages, proc)
+                        if hold < 0:
+                            raise SimError(f"negative delay in hold ({hold!r})")
+                    except BaseException as exc:
+                        proc.convoy = None
+                        for rec in vheap:
+                            heappush(heap, rec)
+                        self._finish(proc, None, exc)
+                        return cnt, None, None
+                    if hmemo is not None:
+                        hmemo[hkey] = hold
+                if not conv.pure or vheap:
+                    heappush(
+                        vheap, (now + hold, next_seq(), _K_CRELEASE, conv, None)
+                    )
+                else:
+                    cnt, done, fproc, fval = self._convoy_steady(
+                        now + hold, next_seq(), conv, vheap, until, cnt,
+                        max_events - n,
+                    )
+                    now = self.now
+                    if done:
+                        return cnt, fproc, fval
+            else:  # _K_CCHAIN / _K_CREJOIN
+                rejoin = True
+                if kind == _K_CCHAIN:
+                    extra = conv.batches[conv.idx][1]
+                    if extra != 0.0:
+                        heappush(
+                            vheap,
+                            (now + extra, next_seq(), _K_CREJOIN, conv, None),
+                        )
+                        rejoin = False
+                if rejoin:
+                    mm = conv.mm
+                    if mm is not None:
+                        mm.pages_pinned += conv.batches[conv.idx][0]
+                    conv.idx += 1
+                    if conv.idx < len(conv.batches):
+                        if conv.lock._acquire_core(conv.proc):
+                            heappush(
+                                vheap, (now, next_seq(), _K_CGRANT, conv, None)
+                            )
+                    else:
+                        conv.proc.convoy = None
+                        for rec in vheap:
+                            heappush(heap, rec)
+                        return cnt, conv.proc, conv.npages
+                # Steady-state entry: a round just closed and the only
+                # pending virtual record is a pure convoy's release —
+                # from here the epoch runs as straight-line rounds.
+                if len(vheap) == 1:
+                    rec = vheap[0]
+                    if rec[2] == _K_CRELEASE and rec[3].pure:
+                        del vheap[0]
+                        cnt, done, fproc, fval = self._convoy_steady(
+                            rec[0], rec[1], rec[3], vheap, until, cnt,
+                            max_events - n,
+                        )
+                        now = self.now
+                        if done:
+                            return cnt, fproc, fval
+            # -- advance to the next convoy record, or stop --
+            head = vheap[0] if vheap else None
+            from_real = False
+            if heap:
+                h = heap[0]
+                if head is None or h[0] <= head[0]:
+                    hk = h[2]
+                    if _K_CGRANT <= hk <= _K_CREJOIN and h[3].lock is lock:
+                        # Same-epoch record parked in the real heap (by an
+                        # earlier burst or record-mode stretch): consume it
+                        # here instead of stopping on it.
+                        head = h
+                        from_real = True
+                    else:
+                        for rec in vheap:
+                            heappush(heap, rec)
+                        return cnt, None, None
+            if head is None:
+                return cnt, None, None
+            if until is not None and head[0] > until:
+                for rec in vheap:
+                    heappush(heap, rec)
+                return cnt, None, None
+            if from_real:
+                heappop(heap)
+            else:
+                heappop(vheap)
+            self.now = now = head[0]
+            cnt += 1
+            if n + cnt > max_events:
+                raise SimError(
+                    f"exceeded max_events={max_events}; runaway simulation?"
+                )
+            kind = head[2]
+            conv = head[3]
+
+    def _convoy_steady(self, t_rel, seq_r, rconv, vheap, until, cnt, limit):
+        """Closed form of the steady state: pure pin convoy rounds.
+
+        Called by :meth:`_convoy_burst` when the *only* pending virtual
+        record is a pure convoy's release at ``(t_rel, seq_r)``.  In a
+        pure convoy (every ``extra_dt == 0.0``) nothing is ever in
+        flight except the current holder's release — the releaser's
+        grant, chain and re-enqueue all happen at the release timestamp
+        — so the event order is fully determined and each round is
+        three records of straight-line code: one float add for the
+        clock (``t_rel + hold``, the same operands the merge would
+        add), the same mutex state transitions, and sequence numbers
+        drawn off the global counter at the same causal points, with no
+        heap traffic at all.  Timestamps, lock statistics, FIFO grant
+        order and event counts stay bit-identical to the
+        record-at-a-time merge.
+
+        The mutex transitions are ``Mutex._release_core`` /
+        ``_acquire_core`` inlined (kept in lockstep with those methods):
+        the holder-identity guards drop out — the releaser *is* the
+        holder and the re-enqueuer is not, by construction — and the
+        scalar bookkeeping (generation, acquisitions, total_wait_us,
+        max_contenders) runs on locals, written back on every exit.
+        Deferring those writes is unobservable: no other process runs
+        mid-steady-state, and the hold-model purity contract (see
+        :class:`PinConvoy`) means ``hold_fn`` reads only the contender
+        profile, which *is* maintained live (counts/holder/waiters).
+        The float accumulation into ``total_wait_us`` happens in the
+        same order on the same running value, so it is bit-exact.
+        Within the loop every acquire/release is by a member of the
+        closed epoch, so ``_convoy_gen`` tracks ``generation`` — both
+        are written back as one value.
+
+        Returns ``(cnt, done, proc, value)``.  ``done=False`` means the
+        loop bailed back to the general merge — the pending record(s)
+        were re-parked in ``vheap`` — because a real-heap record is
+        due, ``until`` would be crossed, the event budget (``limit``,
+        relative to the burst's base count) nears, or a non-pure convoy
+        was granted.  ``done=True`` means the burst must end: a member
+        finished (``proc``/``value`` to resume) or its hold_fn raised
+        (``proc=None``, process already failed).
+        """
+        heap = self._heap
+        heappush = heapq.heappush
+        next_seq = self._seq.__next__
+        lock = rconv.lock
+        counts = lock._socket_counts
+        waiters = lock._waiters
+        gen = lock.generation
+        acq = lock.acquisitions
+        wait_us = lock.total_wait_us
+        mc = lock.max_contenders
+        try:
+            while True:
+                if (
+                    (heap and heap[0][0] <= t_rel)
+                    or (until is not None and t_rel > until)
+                    or cnt + 3 > limit
+                ):
+                    heappush(vheap, (t_rel, seq_r, _K_CRELEASE, rconv, None))
+                    return cnt, False, None, None
+                conv = rconv
+                proc = conv.proc
+                self.now = t_rel
+                cnt += 1  # release record
+                # release: holder (proc) leaves the contender set
+                psock = proc.socket
+                left = counts[psock] - 1
+                if left:
+                    counts[psock] = left
+                else:
+                    del counts[psock]
+                gen += 1
+                if waiters:
+                    nxt, since = waiters.popleft()
+                    lock.holder = nxt
+                    acq += 1
+                    wait_us += t_rel - since
+                    seq_g = next_seq()
+                    seq_c = next_seq()
+                    gconv = nxt.convoy
+                    if not gconv.pure:
+                        # Mixed epoch: hand grant + chain to the merge.
+                        heappush(
+                            vheap, (t_rel, seq_g, _K_CGRANT, gconv, None)
+                        )
+                        heappush(
+                            vheap, (t_rel, seq_c, _K_CCHAIN, conv, None)
+                        )
+                        return cnt, False, None, None
+                    cnt += 1  # grant record for nxt, at t_rel
+                    grantee = nxt
+                else:
+                    # Lone member: release -> chain (inline rejoin) ->
+                    # re-acquire of the free lock -> grant, all at t_rel.
+                    nxt = None
+                    next_seq()  # the chain record's seq
+                    cnt += 1    # chain record
+                    mm = conv.mm
+                    if mm is not None:
+                        mm.pages_pinned += conv.batches[conv.idx][0]
+                    conv.idx += 1
+                    if conv.idx >= len(conv.batches):
+                        proc.convoy = None
+                        lock.holder = None
+                        return cnt, True, proc, conv.npages
+                    # re-acquire of the free lock: immediate grant (the
+                    # holder write cancels out, proc -> None -> proc)
+                    counts[psock] = left + 1
+                    gen += 1
+                    acq += 1
+                    if mc < 1:
+                        mc = 1
+                    next_seq()  # the grant record's seq
+                    cnt += 1    # grant record
+                    grantee = proc
+                    gconv = conv
+                # Hold for the newly granted member, computed before the
+                # releaser rejoins the queue — the same state the
+                # record-mode grant handler sees.
+                pages = gconv.batches[gconv.idx][0]
+                hmemo = gconv.memo
+                hold = None
+                if hmemo is not None:
+                    hsame = counts.get(grantee.socket, 0)
+                    hkey = (pages, hsame, 1 + len(waiters) - hsame)
+                    hold = hmemo.get(hkey)
+                if hold is None:
+                    try:
+                        hold = gconv.hold_fn(pages, grantee)
+                        if hold < 0:
+                            raise SimError(f"negative delay in hold ({hold!r})")
+                    except BaseException as exc:
+                        grantee.convoy = None
+                        if nxt is not None:
+                            # the releaser's chain is still due
+                            heappush(
+                                heap, (t_rel, seq_c, _K_CCHAIN, conv, None)
+                            )
+                        self._finish(grantee, None, exc)
+                        return cnt, True, None, None
+                    if hmemo is not None:
+                        hmemo[hkey] = hold
+                seq_r = next_seq()  # the next release record's seq
+                t_rel = t_rel + hold
+                if nxt is not None:
+                    # chain record: the releaser rejoins
+                    cnt += 1
+                    mm = conv.mm
+                    if mm is not None:
+                        mm.pages_pinned += conv.batches[conv.idx][0]
+                    conv.idx += 1
+                    if conv.idx < len(conv.batches):
+                        # re-enqueue behind nxt
+                        counts[psock] = counts.get(psock, 0) + 1
+                        gen += 1
+                        waiters.append((proc, self.now))
+                        nw = 1 + len(waiters)
+                        if nw > mc:
+                            mc = nw
+                    else:
+                        # Releaser finished mid-epoch: park the new
+                        # holder's release and hand the member back for
+                        # its generator resumption.
+                        proc.convoy = None
+                        heappush(
+                            heap, (t_rel, seq_r, _K_CRELEASE, gconv, None)
+                        )
+                        return cnt, True, proc, conv.npages
+                rconv = gconv
+        finally:
+            lock.generation = gen
+            lock._convoy_gen = gen
+            lock.acquisitions = acq
+            lock.total_wait_us = wait_us
+            lock.max_contenders = mc
 
     # -- process stepping ---------------------------------------------------
 
@@ -578,6 +1153,10 @@ class Simulator:
             elif tc is DelayChain:
                 proc.state = _BLOCKED
                 self._push(cmd.d1, _K_CHAIN, proc, cmd.d2)
+            elif tc is PinConvoy:
+                proc.state = _BLOCKED
+                proc.convoy = _Convoy(proc, cmd)
+                cmd.lock._acquire(proc)
             elif tc is Release:
                 cmd.lock._release(proc)
                 # Releasing never blocks; continue the releaser via a fresh

@@ -119,6 +119,62 @@ def test_check_sections_flags_sweep_regression_separately():
     assert "warm points/s" in sections["sweep"][0]
 
 
+def test_convoy_section_shape(result):
+    convoy = result["convoy"]
+    assert set(convoy) == {f"c{c}" for c in perfsuite.CONVOY_READERS}
+    for r in convoy.values():
+        assert r["events"] > 0
+        assert r["wall_s"] > 0
+        # wall_s is rounded to 1us; smoke convoy runs are sub-millisecond,
+        # so recomputing the rate from it is only ~1e-3-accurate
+        assert r["events_per_sec"] == pytest.approx(
+            r["events"] / r["wall_s"], rel=5e-3
+        )
+
+
+def _gated_payload(convoy=None, fig07=None, **ev_per_sec):
+    payload = _payload(**ev_per_sec)
+    if convoy is not None:
+        payload["convoy"] = {
+            name: {"events": 1000, "wall_s": 0.1, "events_per_sec": v}
+            for name, v in convoy.items()
+        }
+    if fig07 is not None:
+        payload["fig07"] = {
+            name: {
+                "latency_us": 1.0,
+                "sim_events": 1000,
+                "wall_s": 0.1,
+                "events_per_sec": v,
+            }
+            for name, v in fig07.items()
+        }
+    return payload
+
+
+def test_gated_sections_use_gate_factor():
+    base = _gated_payload(convoy={"c8": 9000.0}, fig07={"parallel_read/262144": 9000.0})
+    # 2.5x slower: would fail a 2x gate, passes the 3x gate
+    cur = _gated_payload(convoy={"c8": 3600.0}, fig07={"parallel_read/262144": 3600.0})
+    sections = perfsuite.check_sections(cur, base)
+    assert sections["convoy"] == []
+    assert sections["fig07"] == []
+    # 4x slower: fails
+    cur = _gated_payload(convoy={"c8": 2000.0}, fig07={"parallel_read/262144": 9000.0})
+    sections = perfsuite.check_sections(cur, base)
+    assert len(sections["convoy"]) == 1
+    assert "c8" in sections["convoy"][0]
+    assert sections["fig07"] == []
+
+
+def test_gated_sections_skip_missing_points():
+    base = _gated_payload(convoy={"c8": 9000.0})
+    cur = _gated_payload(convoy={"c64": 1.0}, fig07={"x/1": 1.0})
+    sections = perfsuite.check_sections(cur, base)
+    assert sections["convoy"] == []
+    assert sections["fig07"] == []
+
+
 def test_check_sections_passes_sweep_within_factor_and_skips_missing():
     base = _payload(zero_delay=1000.0, sweep={"fig07_scatter_knl": 600.0})
     cur = _payload(
@@ -167,4 +223,4 @@ def test_cli_writes_output_and_self_check_passes(tmp_path, capsys):
         )
         == 0
     )
-    assert "no >2x regression" in capsys.readouterr().out
+    assert "no >3x regression in gated sections" in capsys.readouterr().out
