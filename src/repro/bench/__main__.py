@@ -26,6 +26,12 @@ def main(argv=None) -> int:
         from repro.bench import perfsuite
 
         return perfsuite.main(argv[1:])
+    if argv and argv[0] == "faults":
+        # Degraded-mode fault matrix: latency + fallback/retry counters
+        # under injected kernel faults — see repro.bench.faultsweep.
+        from repro.bench import faultsweep
+
+        return faultsweep.main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the paper's evaluation tables and figures.",

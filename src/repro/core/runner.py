@@ -47,6 +47,11 @@ class CollectiveSpec:
     #: per-rank block sizes for the V-variants (scatterv/gatherv);
     #: defaults to eta for every rank
     counts: Optional[list[int]] = None
+    #: armed deterministic fault plan (:class:`repro.faults.FaultPlan`),
+    #: or None — the default, bit-identical to the pre-fault runner.
+    #: A frozen dataclass of primitives, so it pickles to pool workers
+    #: and fingerprints into cache keys like every other spec field.
+    faults: Optional[Any] = None
 
     def __post_init__(self) -> None:
         if self.procs is None:
@@ -77,6 +82,13 @@ class CollectiveSpec:
                 raise ValueError("counts must be non-negative")
         elif self.counts is not None:
             raise ValueError(f"{self.collective} does not take counts")
+        if self.faults is not None:
+            from repro.faults import FaultPlan
+
+            if not isinstance(self.faults, FaultPlan):
+                raise ValueError(
+                    f"faults must be a repro.faults.FaultPlan, got {self.faults!r}"
+                )
 
 
 @dataclass
@@ -91,6 +103,13 @@ class CollectiveResult:
     cma_writes: int
     sim_events: int
     trace_by_phase: Optional[dict[str, float]] = None
+    #: degraded-mode counters — all zero on fault-free runs:
+    #: CMA→shm fallback transfers completed by the resilient MPI layer
+    fallbacks: int = 0
+    #: CMA calls re-issued (EINTR) or resumed from an offset (short count)
+    retries: int = 0
+    #: faults the armed plan actually injected, across all kinds
+    faults_injected: int = 0
 
     @property
     def mean_us(self) -> float:
@@ -149,6 +168,11 @@ def _execute(spec: CollectiveSpec, fn, node: Node, comm: Comm) -> CollectiveResu
         cma_writes=node.cma.writes,
         sim_events=node.sim.events_processed,
         trace_by_phase=node.tracer.total_by_phase() if spec.trace else None,
+        fallbacks=comm.fallbacks,
+        retries=comm.retries,
+        faults_injected=(
+            node.fault_state.total_injected if node.fault_state is not None else 0
+        ),
     )
 
 
@@ -159,7 +183,7 @@ def run_collective(spec: CollectiveSpec) -> CollectiveResult:
     rank ends up with violate MPI semantics (only when ``spec.verify``).
     """
     fn = _validated_algorithm(spec)
-    node = Node(spec.arch, verify=spec.verify, trace=spec.trace)
+    node = Node(spec.arch, verify=spec.verify, trace=spec.trace, faults=spec.faults)
     comm = Comm(node, spec.procs)
     return _execute(spec, fn, node, comm)
 
@@ -242,6 +266,11 @@ def run_collective_pooled(
     """
     if pool is None:
         pool = _DEFAULT_POOL
+    if spec.faults is not None:
+        # Fault plans are run-scoped (armed per Node construction) and the
+        # pool key doesn't include them; warm reuse is the fault-free hot
+        # path, so faulted specs always take the fresh-node route.
+        return run_collective(spec)
     fn = _validated_algorithm(spec)
     node, comm = pool.node_for(spec.arch, spec.procs, spec.verify, spec.trace)
     result = _execute(spec, fn, node, comm)

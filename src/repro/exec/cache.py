@@ -3,9 +3,11 @@
 Entries live under one directory (``REPRO_CACHE_DIR`` or
 ``~/.cache/repro-exec``), one pickle per key, written atomically.  The key
 already embeds a code-version salt (:data:`CACHE_VERSION`), and every
-entry re-states the salt it was written under, so a stale or corrupted
-entry is never served — :meth:`ResultCache.get` reports a miss, deletes
-the file, and the caller recomputes.
+entry re-states the salt it was written under plus a CRC-32 of its
+pickled payload, so a stale, truncated, or bit-flipped entry is never
+served — :meth:`ResultCache.get` reports a miss, moves the bad file into
+a ``quarantine/`` subdirectory (preserving the evidence for debugging),
+and the caller recomputes and overwrites.
 """
 
 from __future__ import annotations
@@ -13,6 +15,7 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+import zlib
 from pathlib import Path
 from typing import Any, Optional, Tuple
 
@@ -23,9 +26,12 @@ __all__ = ["ResultCache", "CACHE_VERSION", "ENV_CACHE_DIR", "default_cache_dir"]
 #: Code-version salt baked into every key and entry.  Bump whenever the
 #: simulator, model, or fitting pipeline changes in a way that alters
 #: results: old entries then silently miss instead of serving stale data.
-CACHE_VERSION = "repro-exec-v1"
+#: v2: checksummed entry envelope + CollectiveResult degraded-mode counters.
+CACHE_VERSION = "repro-exec-v2"
 
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+_QUARANTINE_DIR = "quarantine"
 
 
 def default_cache_dir() -> Path:
@@ -41,12 +47,20 @@ class ResultCache:
     ``get`` never raises on a bad entry and ``put`` never fails a sweep
     over an unwritable directory — the cache only ever turns recomputation
     into a lookup, it cannot change results.
+
+    An entry is ``{"salt", "crc", "payload"}`` where ``payload`` is the
+    pickled value and ``crc`` its CRC-32: a checksum mismatch (disk
+    corruption, torn concurrent writer on a non-atomic filesystem) is
+    detected *before* the payload is unpickled, so a corrupted entry can
+    neither be served nor crash the sweep mid-unpickle.
     """
 
     def __init__(self, root: Optional[os.PathLike | str] = None,
                  salt: str = CACHE_VERSION):
         self.root = Path(root) if root is not None else default_cache_dir()
         self.salt = salt
+        #: entries found corrupt and moved aside since construction
+        self.quarantined = 0
 
     def key_for(self, kind: str, payload: Any) -> str:
         return digest(kind, payload, self.salt)
@@ -57,33 +71,64 @@ class ResultCache:
     def get(self, key: str) -> Tuple[bool, Any]:
         """Return ``(hit, value)``; corrupted/stale entries count as misses."""
         path = self.path_for(key)
+        stale = False
         try:
             with open(path, "rb") as f:
                 entry = pickle.load(f)
-            if isinstance(entry, dict) and entry.get("salt") == self.salt \
-                    and "value" in entry:
-                return True, entry["value"]
+            if isinstance(entry, dict) and entry.get("salt") == self.salt:
+                payload = entry.get("payload")
+                if (
+                    isinstance(payload, bytes)
+                    and entry.get("crc") == zlib.crc32(payload)
+                ):
+                    return True, pickle.loads(payload)
+            else:
+                # A well-formed entry under a different code version isn't
+                # corruption — just drop it rather than quarantining.
+                stale = isinstance(entry, dict) and "salt" in entry
         except FileNotFoundError:
             return False, None
         except Exception:
             pass
-        # Corrupted bytes or a different code-version salt: drop the entry
-        # so the recomputed value replaces it.
+        if stale:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        else:
+            self._quarantine(path)
+        return False, None
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside (or delete it if that fails)."""
         try:
-            path.unlink()
+            qdir = self.root / _QUARANTINE_DIR
+            qdir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, qdir / path.name)
+            self.quarantined += 1
+            return
         except OSError:
             pass
-        return False, None
+        try:
+            path.unlink()
+            self.quarantined += 1
+        except OSError:
+            pass
 
     def put(self, key: str, value: Any) -> None:
         path = self.path_for(key)
         try:
+            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
             try:
                 with os.fdopen(fd, "wb") as f:
                     pickle.dump(
-                        {"salt": self.salt, "value": value},
+                        {
+                            "salt": self.salt,
+                            "crc": zlib.crc32(payload),
+                            "payload": payload,
+                        },
                         f,
                         protocol=pickle.HIGHEST_PROTOCOL,
                     )

@@ -15,6 +15,10 @@ Environment knobs (both honoured only where no explicit argument wins):
 * ``REPRO_WARM_NODES`` — set to ``0``/``off``/``false``/``no`` to disable
   warm-node reuse (every point builds a fresh simulated node, the pre-PR-3
   behaviour).  On by default; results are bit-identical either way.
+* ``REPRO_POINT_TIMEOUT_S`` — per-point wall-clock budget (seconds, float)
+  for pooled sweep points; unset/``0`` means unbounded (the default).
+* ``REPRO_POINT_RETRIES`` — how many times a timed-out point is re-submitted
+  before the sweep raises :class:`~repro.exec.pool.PointTimeoutError`.
 """
 
 from __future__ import annotations
@@ -29,6 +33,8 @@ from repro.exec.cache import ENV_CACHE_DIR, ResultCache
 __all__ = [
     "ENV_WORKERS",
     "ENV_WARM_NODES",
+    "ENV_POINT_TIMEOUT",
+    "ENV_POINT_RETRIES",
     "SweepStats",
     "ExecContext",
     "current",
@@ -36,10 +42,14 @@ __all__ = [
     "from_env",
     "resolve_workers",
     "resolve_warm_nodes",
+    "resolve_point_timeout",
+    "resolve_point_retries",
 ]
 
 ENV_WORKERS = "REPRO_EXEC_WORKERS"
 ENV_WARM_NODES = "REPRO_WARM_NODES"
+ENV_POINT_TIMEOUT = "REPRO_POINT_TIMEOUT_S"
+ENV_POINT_RETRIES = "REPRO_POINT_RETRIES"
 
 
 @dataclass
@@ -105,6 +115,43 @@ def resolve_warm_nodes(warm_nodes: Optional[bool]) -> bool:
     return raw not in ("0", "off", "false", "no")
 
 
+def resolve_point_timeout(timeout: Union[float, str, None]) -> Optional[float]:
+    """Explicit argument > ``REPRO_POINT_TIMEOUT_S`` > unbounded (None)."""
+    if timeout is None:
+        raw = os.environ.get(ENV_POINT_TIMEOUT, "").strip()
+        if not raw:
+            return None
+        timeout = raw
+    if isinstance(timeout, str):
+        try:
+            timeout = float(timeout)
+        except ValueError:
+            raise ValueError(
+                f"invalid point timeout {timeout!r} (set {ENV_POINT_TIMEOUT} "
+                f"to a number of seconds)"
+            ) from None
+    timeout = float(timeout)
+    return timeout if timeout > 0 else None
+
+
+def resolve_point_retries(retries: Union[int, str, None]) -> int:
+    """Explicit argument > ``REPRO_POINT_RETRIES`` > 0."""
+    if retries is None:
+        raw = os.environ.get(ENV_POINT_RETRIES, "").strip()
+        if not raw:
+            return 0
+        retries = raw
+    if isinstance(retries, str):
+        try:
+            retries = int(retries)
+        except ValueError:
+            raise ValueError(
+                f"invalid retry count {retries!r} (set {ENV_POINT_RETRIES} "
+                f"to an integer)"
+            ) from None
+    return max(int(retries), 0)
+
+
 def _resolve_cache(cache) -> Optional[ResultCache]:
     if cache is None or cache is False:
         return None
@@ -129,10 +176,14 @@ class ExecContext:
         workers: Union[int, str, None] = None,
         cache=None,
         warm_nodes: Optional[bool] = None,
+        point_timeout: Union[float, str, None] = None,
+        point_retries: Union[int, str, None] = None,
     ):
         self.workers = resolve_workers(workers)
         self.cache = _resolve_cache(cache)
         self.warm_nodes = resolve_warm_nodes(warm_nodes)
+        self.point_timeout = resolve_point_timeout(point_timeout)
+        self.point_retries = resolve_point_retries(point_retries)
         self.stats = SweepStats(workers=self.workers)
         self._executor = None  # None = not created, False = unavailable
         self._executor_owner: "ExecContext" = self
@@ -175,7 +226,9 @@ def use_context(ctx: ExecContext) -> Iterator[ExecContext]:
         ctx.close()
 
 
-def from_env(workers=None, cache=None, warm_nodes=None) -> ExecContext:
+def from_env(
+    workers=None, cache=None, warm_nodes=None, point_timeout=None, point_retries=None
+) -> ExecContext:
     """Build a context from explicit args, the enclosing context, then env.
 
     Used by ``run_experiment`` and the CLIs so that an outer context (e.g.
@@ -196,7 +249,17 @@ def from_env(workers=None, cache=None, warm_nodes=None) -> ExecContext:
         c = cache
     if warm_nodes is None and parent is not None:
         warm_nodes = parent.warm_nodes
-    ctx = ExecContext(workers=w, cache=c, warm_nodes=warm_nodes)
+    if point_timeout is None and parent is not None:
+        point_timeout = parent.point_timeout
+    if point_retries is None and parent is not None:
+        point_retries = parent.point_retries
+    ctx = ExecContext(
+        workers=w,
+        cache=c,
+        warm_nodes=warm_nodes,
+        point_timeout=point_timeout,
+        point_retries=point_retries,
+    )
     if parent is not None and parent.workers == ctx.workers:
         # Nested sweeps (run_experiment under a harness context) share the
         # parent's pool rather than paying start-up again.

@@ -9,6 +9,13 @@ per sweep session, so consecutive sweeps don't pay pool start-up); without
 one a throwaway pool is created.  Any environment where a pool cannot be
 created or breaks mid-flight falls back to computing the points serially
 in-process — same results, just slower.
+
+With ``timeout`` set, each point gets its own wall-clock budget: a point
+that exceeds it is cancelled and re-submitted up to ``retries`` times, then
+the sweep raises :class:`PointTimeoutError`.  The deadline path submits
+points individually instead of using the chunked ``executor.map``, so it
+costs a little more dispatch overhead — it only engages when a timeout is
+actually configured.
 """
 
 from __future__ import annotations
@@ -18,7 +25,26 @@ from typing import Callable, Iterable, List, Optional, TypeVar
 T = TypeVar("T")
 R = TypeVar("R")
 
-__all__ = ["map_points", "make_executor"]
+__all__ = ["map_points", "make_executor", "PointTimeoutError"]
+
+
+class PointTimeoutError(RuntimeError):
+    """A sweep point exceeded its per-point wall-clock budget.
+
+    Subclasses RuntimeError (not TimeoutError) deliberately: on Python
+    3.11+ ``TimeoutError`` is an ``OSError``, which the pool's
+    broken-pool fallback clause would swallow into a serial recompute of
+    the very point that just hung.
+    """
+
+    def __init__(self, index: int, attempts: int, timeout: float):
+        self.index = index
+        self.attempts = attempts
+        self.timeout = timeout
+        super().__init__(
+            f"sweep point {index} exceeded {timeout:g}s "
+            f"({attempts} attempt{'s' if attempts != 1 else ''})"
+        )
 
 
 def _serial(fn: Callable[[T], R], points: List[T]) -> List[R]:
@@ -42,6 +68,8 @@ def map_points(
     points: Iterable[T],
     workers: int,
     executor: Optional[object] = None,
+    timeout: Optional[float] = None,
+    retries: int = 0,
 ) -> List[R]:
     points = list(points)
     if workers <= 1 or len(points) <= 1:
@@ -55,6 +83,10 @@ def map_points(
         executor = make_executor(min(workers, len(points)))
         if executor is None:
             return _serial(fn, points)
+    if timeout is not None:
+        return _map_with_deadline(
+            fn, points, executor, own, timeout, retries, BrokenProcessPool
+        )
     chunksize = max(1, len(points) // (workers * 4))
     try:
         try:
@@ -72,5 +104,65 @@ def map_points(
         # Covers success AND exceptions raised by fn itself (which
         # executor.map re-raises in the caller): a pool we created never
         # leaks its worker processes.
+        if own and executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
+
+
+def _map_with_deadline(
+    fn: Callable[[T], R],
+    points: List[T],
+    executor,
+    own: bool,
+    timeout: float,
+    retries: int,
+    broken_pool_exc: type,
+) -> List[R]:
+    """Point-at-a-time submission with a per-point wall-clock budget.
+
+    A timed-out future cannot be truly cancelled once running, so the
+    stuck worker is abandoned with the pool: we shut the executor down
+    without waiting and re-run the remaining points serially after a
+    retry budget is exhausted — except that raising is the contract here
+    (a point that hangs twice is a bug, not load).  ``TimeoutError`` from
+    ``Future.result`` is caught *before* the broken-pool clause because
+    on Python 3.11+ it is an ``OSError`` subclass.
+    """
+    from concurrent.futures import TimeoutError as FuturesTimeout
+
+    results: List[R] = []
+    i = 0
+    try:
+        while i < len(points):
+            pt = points[i]
+            attempt = 0
+            while True:
+                try:
+                    fut = executor.submit(fn, pt)
+                except (broken_pool_exc, OSError, PermissionError, RuntimeError):
+                    # Pool unusable (broken or shut down): finish serially.
+                    results.extend(_serial(fn, points[i:]))
+                    return results
+                try:
+                    results.append(fut.result(timeout=timeout))
+                    break
+                except FuturesTimeout:
+                    attempt += 1
+                    fut.cancel()
+                    if attempt > retries:
+                        raise PointTimeoutError(i, attempt, timeout) from None
+                    # re-submit; the hung worker (if truly running) keeps a
+                    # pool slot busy, which is why retries should be small.
+                except (broken_pool_exc, OSError, PermissionError):
+                    results.extend(_serial(fn, points[i:]))
+                    return results
+            i += 1
+        return results
+    except PointTimeoutError:
+        if own:
+            # Don't wait: the whole point is that a worker is stuck.
+            executor.shutdown(wait=False, cancel_futures=True)
+            executor = None  # noqa: F841 — signal the finally below
+        raise
+    finally:
         if own and executor is not None:
             executor.shutdown(wait=True, cancel_futures=True)

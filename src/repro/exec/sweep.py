@@ -97,7 +97,12 @@ def sweep(
         executor = ctx.executor() if ctx is not None else None
         t0 = time.perf_counter()
         computed = map_points(
-            runner, [points[i] for i in miss], workers, executor=executor
+            runner,
+            [points[i] for i in miss],
+            workers,
+            executor=executor,
+            timeout=ctx.point_timeout if ctx is not None else None,
+            retries=ctx.point_retries if ctx is not None else 0,
         )
         run_wall = time.perf_counter() - t0
         for i, value in zip(miss, computed):
@@ -161,6 +166,7 @@ class _CollectivePoint:
     verify: bool
     trace: bool
     counts: Any
+    faults: Any
     warm: bool
 
 
@@ -176,6 +182,9 @@ class _SlimResult:
     cma_writes: int
     sim_events: int
     trace_by_phase: Optional[dict]
+    fallbacks: int = 0
+    retries: int = 0
+    faults_injected: int = 0
 
 
 def _slim_point(spec: CollectiveSpec, warm: bool) -> _CollectivePoint:
@@ -199,7 +208,11 @@ def _slim_point(spec: CollectiveSpec, warm: bool) -> _CollectivePoint:
         verify=spec.verify,
         trace=spec.trace,
         counts=spec.counts,
-        warm=warm,
+        faults=spec.faults,
+        # Fault plans are run-scoped state outside the warm-pool key, so
+        # faulted points always build fresh nodes (the runner enforces it
+        # too; clearing the flag here keeps group_key honest as well).
+        warm=warm and spec.faults is None,
     )
 
 
@@ -218,6 +231,7 @@ def _exec_point(pt: _CollectivePoint) -> _SlimResult:
         verify=pt.verify,
         trace=pt.trace,
         counts=pt.counts,
+        faults=pt.faults,
     )
     r = _compute_collective(spec, pt.warm)
     return _SlimResult(
@@ -228,6 +242,9 @@ def _exec_point(pt: _CollectivePoint) -> _SlimResult:
         cma_writes=r.cma_writes,
         sim_events=r.sim_events,
         trace_by_phase=r.trace_by_phase,
+        fallbacks=r.fallbacks,
+        retries=r.retries,
+        faults_injected=r.faults_injected,
     )
 
 
@@ -251,6 +268,9 @@ def _inflate_result(raw: Any, spec: CollectiveSpec) -> CollectiveResult:
         cma_writes=raw.cma_writes,
         sim_events=raw.sim_events,
         trace_by_phase=raw.trace_by_phase,
+        fallbacks=getattr(raw, "fallbacks", 0),
+        retries=getattr(raw, "retries", 0),
+        faults_injected=getattr(raw, "faults_injected", 0),
     )
 
 

@@ -1,0 +1,308 @@
+"""Seedable, deterministic fault injection for the simulated kernel path.
+
+The real CMA syscalls fail in well-catalogued ways — Yama denies the
+attach (``EPERM``), the peer exited (``ESRCH``), a page is unmapped
+(``EFAULT``), a signal interrupts the call (``EINTR``), or
+``process_vm_readv`` returns a *short* count truncated at a page boundary
+— and production MPI libraries degrade to the two-copy shared-memory path
+rather than abort.  This module injects exactly those failures into the
+simulated kernel so the rest of the stack can prove it survives them.
+
+Design contract:
+
+* **Off by default, bit-identical when off.**  A node built without a
+  :class:`FaultPlan` (or with an empty one) produces the exact event
+  stream, timestamps and results it did before this module existed; the
+  golden fixtures in ``tests/golden`` enforce that differentially.
+* **Deterministic.**  A :class:`FaultPlan` is immutable and seedable;
+  arming it yields a :class:`FaultState` whose probabilistic draws come
+  from per-``(spec, op, pid)`` :class:`random.Random` streams seeded with
+  *strings* (never Python's process-randomised ``hash()``), and whose
+  scheduled faults key on the per-``(op, pid)`` call index.  Because the
+  simulator itself is deterministic, the same plan + the same spec
+  reproduce identical injections, counters and timestamps.
+* **Keyable.**  Both dataclasses are frozen and built from primitives, so
+  a plan embeds cleanly in a :class:`~repro.core.runner.CollectiveSpec`,
+  pickles across the process pool, and fingerprints into cache keys via
+  :mod:`repro.exec.keying`.
+
+Injection sites (the ``op`` namespace):
+
+=========  ==============================================================
+``readv``  ``process_vm_readv`` (``pid`` = the attach target)
+``writev`` ``process_vm_writev`` (``pid`` = the attach target)
+``declare`` KNEM region declaration (``pid`` = the region owner)
+``tx``     LiMIC descriptor creation (``pid`` = the buffer owner)
+=========  ==============================================================
+
+Fault kinds:
+
+* ``eperm`` / ``esrch`` / ``efault`` / ``eintr`` — raise the errno from
+  the syscall's permission/access-check point.
+* ``partial`` — truncate the transfer at a page boundary and return a
+  short byte count, like the real ``process_vm_rw`` when it faults midway
+  through pinning; ``factor`` picks the truncation point (fraction of the
+  remote pages kept, default 0.5).  Only fires when the transfer spans at
+  least two pages — a single-page op cannot return a short count.
+* ``straggler`` — not drawn per call: a static slowdown of every matching
+  pid, scaling its caller-side kernel delays (entry/check/copy) *and* the
+  hold time of its mm lock by ``factor`` (default 2.0).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.kernel.errors import EFAULT, EINTR, EPERM, ESRCH
+
+__all__ = [
+    "FaultSpec",
+    "FaultPlan",
+    "FaultState",
+    "parse_plan",
+    "plan_from_env",
+    "ENV_FAULTS",
+    "FAULT_KINDS",
+    "FAULT_OPS",
+]
+
+#: environment knob consumed by the fault-matrix tests and the
+#: ``python -m repro.bench faults`` CLI (never by default runs).
+ENV_FAULTS = "REPRO_FAULTS"
+
+FAULT_KINDS = ("eperm", "esrch", "efault", "eintr", "partial", "straggler")
+FAULT_OPS = ("any", "readv", "writev", "declare", "tx")
+
+#: errno raised per errno-kind fault.
+KIND_ERRNO = {"eperm": EPERM, "esrch": ESRCH, "efault": EFAULT, "eintr": EINTR}
+
+_DEFAULT_FACTOR = {"partial": 0.5, "straggler": 2.0}
+#: default probabilities used by :func:`parse_plan` when a kind is named
+#: without an ``@value``.
+_DEFAULT_PROB = {
+    "eperm": 0.1,
+    "esrch": 0.05,
+    "efault": 0.05,
+    "eintr": 0.15,
+    "partial": 0.35,
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault rule: what to inject, where, and when.
+
+    ``calls`` schedules exact injections by per-``(op, pid)`` call index
+    (0-based, counting every attempt including retries); when ``calls`` is
+    None the spec is probabilistic with per-call probability ``prob``.
+    ``pid`` of None matches any target.  ``factor`` is the partial
+    truncation fraction or the straggler slowdown (see module docstring).
+    """
+
+    kind: str
+    op: str = "any"
+    pid: Optional[int] = None
+    calls: Optional[Tuple[int, ...]] = None
+    prob: float = 0.0
+    factor: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r} (not in {FAULT_KINDS})")
+        if self.op not in FAULT_OPS:
+            raise ValueError(f"unknown fault op {self.op!r} (not in {FAULT_OPS})")
+        if self.calls is not None:
+            object.__setattr__(self, "calls", tuple(int(c) for c in self.calls))
+            if any(c < 0 for c in self.calls):
+                raise ValueError("call indices must be >= 0")
+        if not (0.0 <= self.prob <= 1.0):
+            raise ValueError(f"prob must be in [0, 1], got {self.prob}")
+        if self.factor is not None and self.factor <= 0:
+            raise ValueError(f"factor must be positive, got {self.factor}")
+        if self.kind == "straggler" and (self.calls is not None or self.prob):
+            raise ValueError(
+                "straggler is a static per-pid slowdown; it takes no "
+                "calls/prob trigger"
+            )
+
+    @property
+    def resolved_factor(self) -> float:
+        if self.factor is not None:
+            return self.factor
+        return _DEFAULT_FACTOR.get(self.kind, 1.0)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable set of fault rules plus the seed that arms them.
+
+    ``max_attempts`` bounds the resilient MPI layer's CMA retry loop
+    (EINTR re-issues and resume-from-offset after partials) before it
+    falls back to the two-copy shm path.
+    """
+
+    seed: int = 0
+    specs: Tuple[FaultSpec, ...] = field(default_factory=tuple)
+    max_attempts: int = 4
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+        for s in self.specs:
+            if not isinstance(s, FaultSpec):
+                raise ValueError(f"specs must be FaultSpec instances, got {s!r}")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+    def arm(self) -> "FaultState":
+        """Create the mutable per-run draw state for this plan."""
+        return FaultState(self)
+
+
+class FaultState:
+    """Per-run mutable state of an armed :class:`FaultPlan`.
+
+    One instance lives per simulated run (re-armed on every warm-node
+    reset), so call counters and RNG streams restart identically and the
+    same plan reproduces the same injections.
+    """
+
+    __slots__ = ("plan", "_calls", "_rngs", "_scales", "injected")
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        #: per-(op, pid) call counter — the scheduling key space
+        self._calls: dict = {}
+        #: per-(spec index, op, pid) RNG streams for probabilistic specs
+        self._rngs: dict = {}
+        self._scales: dict = {}
+        #: injections actually fired, by kind
+        self.injected: dict = {}
+
+    def _rng(self, i: int, op: str, pid: int) -> random.Random:
+        key = (i, op, pid)
+        rng = self._rngs.get(key)
+        if rng is None:
+            # String seeding goes through SHA-512 — deterministic across
+            # processes regardless of PYTHONHASHSEED (tuples would not be).
+            rng = random.Random(f"{self.plan.seed}/{i}/{op}/{pid}")
+            self._rngs[key] = rng
+        return rng
+
+    def draw(
+        self, op: str, pid: int, caller_pid: int, pages: int = 0
+    ) -> Optional[FaultSpec]:
+        """One injection decision for one call; returns the firing spec.
+
+        Advances the ``(op, pid)`` call index exactly once per call.
+        Specs are evaluated in plan order and the first one that fires
+        wins (later specs are not drawn that call).  ``pages`` gates
+        ``partial`` eligibility: short counts need >= 2 remote pages.
+        """
+        idx = self._calls.get((op, pid), 0)
+        self._calls[(op, pid)] = idx + 1
+        for i, spec in enumerate(self.plan.specs):
+            if spec.kind == "straggler":
+                continue
+            if spec.op != "any" and spec.op != op:
+                continue
+            if spec.pid is not None and spec.pid != pid:
+                continue
+            if spec.kind == "partial" and pages < 2:
+                continue
+            if spec.calls is not None:
+                fired = idx in spec.calls
+            else:
+                fired = spec.prob > 0.0 and self._rng(i, op, pid).random() < spec.prob
+            if fired:
+                self.injected[spec.kind] = self.injected.get(spec.kind, 0) + 1
+                return spec
+        return None
+
+    def raise_if(self, op: str, pid: int, caller_pid: int) -> None:
+        """Draw for a setup-style op (declare/tx) and raise if it fires."""
+        from repro.kernel.errors import CMAError
+
+        spec = self.draw(op, pid, caller_pid)
+        if spec is not None and spec.kind in KIND_ERRNO:
+            raise CMAError(
+                KIND_ERRNO[spec.kind],
+                f"injected {spec.kind} at {op}(pid={pid})",
+            )
+
+    def scale(self, pid: int) -> float:
+        """Static straggler slowdown of ``pid`` (1.0 = not a straggler)."""
+        s = self._scales.get(pid)
+        if s is None:
+            s = 1.0
+            for spec in self.plan.specs:
+                if spec.kind == "straggler" and (spec.pid is None or spec.pid == pid):
+                    s *= spec.resolved_factor
+            self._scales[pid] = s
+        return s
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    def counts(self) -> dict:
+        """Snapshot of injections fired so far, by kind."""
+        return dict(self.injected)
+
+
+# -- textual plans (REPRO_FAULTS / --faults) ---------------------------------
+
+
+def parse_plan(text: str) -> FaultPlan:
+    """Parse ``"<seed>:<kind>[@value][,<kind>[@value]...]"`` into a plan.
+
+    ``value`` is the per-call probability for errno/partial kinds and the
+    slowdown factor for ``straggler``; omitted values use per-kind
+    defaults.  Examples::
+
+        parse_plan("7:partial@0.4,eperm@0.1")
+        parse_plan("9:straggler@2.5")
+    """
+    text = text.strip()
+    head, sep, body = text.partition(":")
+    if not sep or not body.strip():
+        raise ValueError(
+            f"invalid fault plan {text!r}: expected '<seed>:<kind>[@prob],...'"
+        )
+    try:
+        seed = int(head.strip())
+    except ValueError:
+        raise ValueError(f"invalid fault-plan seed {head!r}") from None
+    specs = []
+    for item in body.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        kind, sep, value = item.partition("@")
+        kind = kind.strip()
+        if kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {kind!r} (not in {FAULT_KINDS})")
+        val: Optional[float] = None
+        if sep:
+            try:
+                val = float(value.strip())
+            except ValueError:
+                raise ValueError(f"invalid fault value {value!r} in {item!r}") from None
+        if kind == "straggler":
+            specs.append(FaultSpec(kind, factor=val))
+        else:
+            prob = val if val is not None else _DEFAULT_PROB[kind]
+            specs.append(FaultSpec(kind, prob=prob))
+    if not specs:
+        raise ValueError(f"fault plan {text!r} names no faults")
+    return FaultPlan(seed=seed, specs=tuple(specs))
+
+
+def plan_from_env() -> Optional[FaultPlan]:
+    """The :data:`ENV_FAULTS` plan, or None when unset/empty."""
+    raw = os.environ.get(ENV_FAULTS, "").strip()
+    if not raw:
+        return None
+    return parse_plan(raw)

@@ -23,11 +23,12 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Generator, Optional, Sequence
 
 from repro.kernel.address_space import AddressSpaceManager, copy_iov_bytes
-from repro.kernel.errors import CMAError, EINVAL, EPERM
+from repro.kernel.errors import CMAError, EFAULT, EINTR, EINVAL, EPERM, ESRCH
 from repro.kernel.pagelock import MMLock
 from repro.sim.engine import Acquire, Delay, DelayChain, HoldRelease, PinConvoy
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults import FaultState
     from repro.machine.params import ModelParams
     from repro.sim.engine import SimProcess, Simulator
     from repro.sim.trace import Tracer
@@ -39,6 +40,11 @@ IOV_MAX = 1024
 
 Iovec = Sequence[tuple[int, int]]
 
+#: errno raised per injected errno-kind fault (mirrors faults.KIND_ERRNO;
+#: kept local so the kernel layer never imports repro.faults, which would
+#: be circular through the package __init__).
+_INJECT_ERRNO = {"eperm": EPERM, "esrch": ESRCH, "efault": EFAULT, "eintr": EINTR}
+
 
 def iovec_total(iov: Iovec) -> int:
     """Sum of iovec lengths (validates non-negative lengths)."""
@@ -48,6 +54,56 @@ def iovec_total(iov: Iovec) -> int:
             raise CMAError(EINVAL, f"negative iovec length {ln}")
         total += ln
     return total
+
+
+def _iov_pages(iov: Iovec, page_size: int) -> int:
+    """Pages spanned by an iovec (per-entry rounding, like total_pages)."""
+    total = 0
+    for addr, ln in iov:
+        if ln == 0:
+            continue
+        total += (addr + ln - 1) // page_size - addr // page_size + 1
+    return total
+
+
+def _page_prefix_bytes(iov: Iovec, page_size: int, max_pages: int) -> int:
+    """Bytes of ``iov`` covered by its first ``max_pages`` pages."""
+    pages = 0
+    nbytes = 0
+    for addr, ln in iov:
+        if ln == 0:
+            continue
+        first = addr // page_size
+        span = (addr + ln - 1) // page_size - first + 1
+        if pages + span <= max_pages:
+            pages += span
+            nbytes += ln
+            if pages == max_pages:
+                break
+            continue
+        # the budget runs out inside this entry: cut at the page boundary
+        take = max_pages - pages
+        nbytes += (first + take) * page_size - addr
+        break
+    return nbytes
+
+
+def _truncate_at_page_boundary(
+    remote_iov: Iovec, page_size: int, npages: int, ncopy: int, frac: float
+) -> tuple[int, int]:
+    """Short-transfer point: keep a whole-page prefix of the remote iovec.
+
+    Mirrors the real ``process_vm_rw``: when pinning faults midway, the
+    bytes already copied — whole pages at the front of the remote iovec —
+    are returned as a short count, never an error.  Returns the truncated
+    ``(npages, ncopy)``; a no-op when the local side already bounds the
+    copy short of the chosen boundary.
+    """
+    keep = max(1, min(npages - 1, int(npages * frac)))
+    prefix = _page_prefix_bytes(remote_iov, page_size, keep)
+    if 0 < prefix < ncopy:
+        return keep, prefix
+    return npages, ncopy
 
 
 class CMAKernel:
@@ -70,6 +126,9 @@ class CMAKernel:
         self._sockets: dict[int, int] = {}
         #: pids the permission check rejects (tests ptrace-style denial)
         self.denied_pids: set[int] = set()
+        #: armed fault-injection state, or None (the default: no faults,
+        #: bit-identical to the pre-fault kernel) — see :meth:`set_faults`
+        self.faults: Optional["FaultState"] = None
         self.reads = 0
         self.writes = 0
 
@@ -80,17 +139,37 @@ class CMAKernel:
         sockets pay the ``inter_socket_beta`` bandwidth penalty.
         """
         self.manager.create(pid)
-        self._mm_locks[pid] = MMLock(self.sim, pid, self.params, self.tracer)
+        mm = MMLock(self.sim, pid, self.params, self.tracer)
+        if self.faults is not None:
+            mm.hold_scale = self.faults.scale(pid)
+        self._mm_locks[pid] = mm
         self._sockets[pid] = socket
+
+    def set_faults(self, state: Optional["FaultState"]) -> None:
+        """Arm (or disarm) fault injection for this kernel.
+
+        Straggler slowdowns apply to a pid's mm-lock hold time too (its
+        page operations are slow from every contender's point of view),
+        so the per-lock scale is pushed down here; it stays constant for
+        the run, which keeps ``hold_time`` pure in (pages, contention
+        profile) and the PinConvoy memo contract intact.
+        """
+        self.faults = state
+        for pid, mm in self._mm_locks.items():
+            mm.hold_scale = 1.0 if state is None else state.scale(pid)
 
     def reset(self) -> None:
         """Reset per-run state while keeping pid registrations.
 
         A warm node re-registers the same pids in the same order, so the
         address spaces and mm locks survive (their *contents* are reset);
-        only counters and the denial set go back to zero.
+        only counters and the denial set go back to zero.  Fault state is
+        disarmed (mm hold scales return to 1.0): a plan is per-run state,
+        so the owner must re-arm via :meth:`set_faults` after the reset
+        (``Node.reset`` does).
         """
         self.denied_pids.clear()
+        self.faults = None
         self.reads = 0
         self.writes = 0
         for mm in self._mm_locks.values():
@@ -154,9 +233,25 @@ class CMAKernel:
         local_total = iovec_total(local_iov)
         remote_total = iovec_total(remote_iov)
 
+        # --- fault-injection draw (fs is None on the default path: no
+        # draw, scale 1.0, and every guarded branch below compiles away
+        # to the exact pre-fault delay expressions) ---
+        fault = None
+        scale = 1.0
+        fs = self.faults
+        if fs is not None:
+            if remote_iov:
+                fault = fs.draw(
+                    "writev" if write else "readv",
+                    pid,
+                    caller.pid,
+                    pages=_iov_pages(remote_iov, p.page_size),
+                )
+            scale = fs.scale(caller.pid)
+
         # --- 1. syscall entry ---
         t0 = self.sim.now
-        yield Delay(p.alpha_syscall)
+        yield Delay(p.alpha_syscall if scale == 1.0 else p.alpha_syscall * scale)
         if tracer.enabled:
             tracer.record(caller.name, "syscall", t0, self.sim.now)
 
@@ -168,7 +263,13 @@ class CMAKernel:
         remote_space = self.manager.get(pid)  # raises ESRCH
         if pid in self.denied_pids:
             raise CMAError(EPERM, f"ptrace access to pid {pid} denied")
-        yield Delay(p.alpha_check)
+        if fault is not None and fault.kind in _INJECT_ERRNO:
+            raise CMAError(
+                _INJECT_ERRNO[fault.kind],
+                f"injected {fault.kind} at "
+                f"{'writev' if write else 'readv'}(pid={pid})",
+            )
+        yield Delay(p.alpha_check if scale == 1.0 else p.alpha_check * scale)
         if tracer.enabled:
             tracer.record(caller.name, "check", t1, self.sim.now)
 
@@ -182,7 +283,13 @@ class CMAKernel:
         # transfer.  Copy bytes are apportioned to batches pro rata.
         npages = remote_space.total_pages(remote_iov)
         ncopy = min(local_total, remote_total)
+        if fault is not None and fault.kind == "partial":
+            npages, ncopy = _truncate_at_page_boundary(
+                remote_iov, p.page_size, npages, ncopy, fault.resolved_factor
+            )
         beta = self.copy_beta(caller, pid)
+        if scale != 1.0:
+            beta *= scale
         mm = self.mm_lock(pid)
         done_pages = 0
         done_bytes = 0
@@ -248,15 +355,40 @@ class CMAKernel:
         local_total = iovec_total(local_iov)
         remote_total = iovec_total(remote_iov)
 
+        # --- fault-injection draw (fs None ⇒ zero-cost, bit-identical) ---
+        fault = None
+        scale = 1.0
+        fs = self.faults
+        if fs is not None:
+            if remote_iov:
+                fault = fs.draw(
+                    "writev" if write else "readv",
+                    pid,
+                    caller.pid,
+                    pages=_iov_pages(remote_iov, p.page_size),
+                )
+            scale = fs.scale(caller.pid)
+
         # --- 1+2. syscall entry, then permission check if a remote iovec
         # is present (one fused record) ---
         if not remote_iov:
-            yield Delay(p.alpha_syscall)
+            yield Delay(p.alpha_syscall if scale == 1.0 else p.alpha_syscall * scale)
             return 0
-        yield DelayChain(p.alpha_syscall, p.alpha_check)
+        if scale == 1.0:
+            yield DelayChain(p.alpha_syscall, p.alpha_check)
+        else:
+            yield DelayChain(p.alpha_syscall * scale, p.alpha_check * scale)
         remote_space = self.manager.get(pid)  # raises ESRCH
         if pid in self.denied_pids:
             raise CMAError(EPERM, f"ptrace access to pid {pid} denied")
+        if fault is not None and fault.kind in _INJECT_ERRNO:
+            # Same position as the natural ESRCH/EPERM above: after the
+            # fused entry+check time (the documented fast-path divergence).
+            raise CMAError(
+                _INJECT_ERRNO[fault.kind],
+                f"injected {fault.kind} at "
+                f"{'writev' if write else 'readv'}(pid={pid})",
+            )
 
         if remote_total == 0:
             return 0
@@ -267,7 +399,13 @@ class CMAKernel:
         # or, by default, the whole loop rides one PinConvoy command.
         npages = remote_space.total_pages(remote_iov)
         ncopy = min(local_total, remote_total)
+        if fault is not None and fault.kind == "partial":
+            npages, ncopy = _truncate_at_page_boundary(
+                remote_iov, p.page_size, npages, ncopy, fault.resolved_factor
+            )
         beta = self.copy_beta(caller, pid)
+        if scale != 1.0:
+            beta *= scale
         mm = self._mm_locks[pid]
         pin_batch = p.pin_batch
         if self.sim.use_pin_convoy:

@@ -2,14 +2,23 @@
 
 from __future__ import annotations
 
-__all__ = ["KernelError", "CMAError", "EPERM", "ESRCH", "EINVAL", "EFAULT"]
+__all__ = [
+    "KernelError", "CMAError", "EPERM", "ESRCH", "EINTR", "EINVAL", "EFAULT",
+]
 
 EPERM = 1
 ESRCH = 3
-EINVAL = 22
+EINTR = 4
 EFAULT = 14
+EINVAL = 22
 
-_ERRNO_NAMES = {EPERM: "EPERM", ESRCH: "ESRCH", EINVAL: "EINVAL", EFAULT: "EFAULT"}
+_ERRNO_NAMES = {
+    EPERM: "EPERM",
+    ESRCH: "ESRCH",
+    EINTR: "EINTR",
+    EFAULT: "EFAULT",
+    EINVAL: "EINVAL",
+}
 
 
 class KernelError(RuntimeError):

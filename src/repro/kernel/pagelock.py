@@ -42,7 +42,7 @@ class MMLock:
     """mm (page-table) lock of one simulated process."""
 
     __slots__ = ("sim", "pid", "params", "mutex", "tracer", "pages_pinned",
-                 "_hold_memo")
+                 "hold_scale", "_hold_memo")
 
     def __init__(
         self,
@@ -57,9 +57,16 @@ class MMLock:
         self.mutex = Mutex(sim, name=f"mm[{pid}]")
         self.tracer = tracer
         self.pages_pinned = 0
+        #: straggler slowdown of this mm's owner (fault injection): page
+        #: operations on a slow core take longer for *every* contender.
+        #: Constant for a whole run (set when a FaultPlan is armed, reset
+        #: to 1.0 by :meth:`reset`), so :meth:`hold_time` stays pure in
+        #: (batch_pages, contention profile) and the memo contract holds.
+        self.hold_scale = 1.0
         #: engine-side hold-time memo, keyed (batch_pages, c_same, c_other).
         #: Valid because :meth:`hold_time` is a pure function of exactly
-        #: that triple (``params`` are fixed at construction); passed to
+        #: that triple (``params`` are fixed at construction and
+        #: ``hold_scale`` per run); passed to
         #: :class:`~repro.sim.engine.PinConvoy` so steady convoys replace
         #: the Python call with a dict hit returning the identical float.
         self._hold_memo: dict = {}
@@ -68,6 +75,7 @@ class MMLock:
         """Fresh-construction state: unheld mutex, zero pin counter."""
         self.mutex.reset()
         self.pages_pinned = 0
+        self.hold_scale = 1.0
         self._hold_memo.clear()
 
     def hold_time(self, batch_pages: int, caller: "SimProcess") -> float:
@@ -81,7 +89,10 @@ class MMLock:
         # the caller itself is a contender (it holds the lock); exclude it
         c_same = max(c_same - 1, 0)
         bounce = p.kappa_intra * c_same + p.kappa_inter * c_other
-        return (batch_pages + bounce) * p.l_page
+        hold = (batch_pages + bounce) * p.l_page
+        if self.hold_scale != 1.0:  # straggler-owner fault injection
+            hold *= self.hold_scale
+        return hold
 
     def lock_and_pin(
         self, caller: "SimProcess", npages: int

@@ -14,16 +14,20 @@ collectives in the same order, so equal counters identify one operation).
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Generator, Optional
+from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
 
 import numpy as np
 
 from repro.kernel import AddressSpaceManager, Buffer, CMAKernel
+from repro.kernel.errors import CMAError, EFAULT, EINTR, EPERM, ESRCH
 from repro.machine.arch import Architecture
 from repro.shm import ShmTransport
 from repro.shm import collectives as smc
 from repro.sim import Simulator, Tracer
-from repro.sim.engine import SimProcess
+from repro.sim.engine import Join, SimProcess
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults import FaultPlan, FaultState
 
 __all__ = ["Node", "Comm", "RankCtx"]
 
@@ -41,6 +45,7 @@ class Node:
         verify: bool = True,
         trace: bool = False,
         sim: Optional[Simulator] = None,
+        faults: Optional["FaultPlan"] = None,
     ):
         self.arch = arch
         self.verify = verify
@@ -50,6 +55,14 @@ class Node:
         self.cma = CMAKernel(
             self.sim, self.manager, arch.params, self.tracer, verify=verify
         )
+        #: immutable fault plan (None = faults off, the default) and its
+        #: per-run armed state; re-armed on every reset so a warm node
+        #: replays identical injections.
+        self.fault_plan = faults
+        self.fault_state: Optional["FaultState"] = None
+        if faults is not None:
+            self.fault_state = faults.arm()
+            self.cma.set_faults(self.fault_state)
 
     def reset(self) -> None:
         """Return the node to fresh-construction state, keeping structure.
@@ -57,11 +70,16 @@ class Node:
         The engine restarts its clock/sequence stream, the tracer drops its
         spans, and the kernel resets counters, mm locks and address-space
         contents — but registered pids (and their recycled buffer arenas)
-        survive, which is the whole point of warm reuse.
+        survive, which is the whole point of warm reuse.  A fault plan is
+        re-armed from scratch: call counters and RNG streams restart, so a
+        reset node injects the exact same faults a fresh one would.
         """
         self.sim.reset()
         self.tracer.clear()
         self.cma.reset()
+        if self.fault_plan is not None:
+            self.fault_state = self.fault_plan.arm()
+            self.cma.set_faults(self.fault_state)
 
     @property
     def params(self):
@@ -99,6 +117,16 @@ class Comm:
             self._pids.append(pid)
             self._placements.append(place)
         self._op_counters = [itertools.count() for _ in range(size)]
+        #: per-(caller_rank, target_rank) CMA capability verdicts.  The
+        #: first CMA attempt doubles as the probe: a permission-class
+        #: failure (EPERM/ESRCH) caches False and every later transfer on
+        #: that pair goes straight to the shm fallback — mirroring how MPI
+        #: libraries probe CMA once per peer and remember the answer.
+        self.cma_verdicts: dict[tuple[int, int], bool] = {}
+        #: degraded-mode counters, surfaced on CollectiveResult
+        self.fallbacks = 0
+        self.retries = 0
+        self._fb_seq = itertools.count()
 
     def reset(self) -> None:
         """Reset per-run transport state and the op-sequence counters.
@@ -108,6 +136,16 @@ class Comm:
         """
         self.shm.reset()
         self._op_counters = [itertools.count() for _ in range(self.size)]
+        self.cma_verdicts.clear()
+        self.fallbacks = 0
+        self.retries = 0
+        self._fb_seq = itertools.count()
+
+    @property
+    def resilient(self) -> bool:
+        """True when a fault plan is armed: CMA ops route through the
+        retry/fallback ladder instead of the raw syscalls."""
+        return self.node.fault_state is not None
 
     # -- identity ------------------------------------------------------------
 
@@ -152,6 +190,125 @@ class Comm:
         procs = [self.spawn_rank(r, fn, **ctx_kw) for r in range(self.size)]
         self.node.sim.run_all(procs)
         return procs
+
+    # -- degraded mode: CMA retry ladder + shm fallback -----------------------
+
+    def robust_rw(
+        self,
+        ctx: "RankCtx",
+        peer: int,
+        local: tuple[int, int],
+        remote: tuple[int, int],
+        write: bool,
+    ) -> Generator:
+        """One resilient CMA transfer: probe/retry, then shm fallback.
+
+        The MPI-style error ladder (only active when a fault plan is
+        armed; the fault-free path never enters this function):
+
+        * ``EINTR`` — re-issue the call (bounded by the plan's
+          ``max_attempts``);
+        * a *short* count — resume from the byte offset already copied,
+          again bounded by ``max_attempts``;
+        * ``EPERM``/``ESRCH`` — permission-class: cache a False verdict
+          for this (caller, target) pair and fall back;
+        * ``EFAULT`` — fall back for this operation only (the pair's
+          verdict survives: another buffer may be fine);
+        * anything else (``EINVAL``...) — a programming error, re-raised.
+
+        The fallback moves the remaining bytes over the two-copy shm
+        transport, so the collective always completes with correct
+        buffers; no kernel exception escapes to the simulator.
+        """
+        state = self.node.fault_state
+        max_attempts = state.plan.max_attempts if state is not None else 1
+        pid = self._pids[peer]
+        fn = self.node.cma.write_simple if write else self.node.cma.read_simple
+        want = min(local[1], remote[1])
+        if want <= 0:
+            return (yield from fn(ctx.proc, pid, local, remote))
+        pair = (ctx.rank, peer)
+        done = 0
+        if self.cma_verdicts.get(pair, True):
+            attempts = 0
+            while attempts < max_attempts:
+                attempts += 1
+                try:
+                    got = yield from fn(
+                        ctx.proc,
+                        pid,
+                        (local[0] + done, local[1] - done),
+                        (remote[0] + done, remote[1] - done),
+                    )
+                except CMAError as exc:
+                    if exc.errno == EINTR:
+                        self.retries += 1
+                        continue
+                    if exc.errno in (EPERM, ESRCH):
+                        self.cma_verdicts[pair] = False
+                        break
+                    if exc.errno == EFAULT:
+                        break
+                    raise
+                done += got
+                if done >= want:
+                    return want
+                self.retries += 1  # short transfer: resume from offset
+        if done < want:
+            self.fallbacks += 1
+            yield from self._fallback_transfer(
+                ctx,
+                peer,
+                (local[0] + done, want - done),
+                (remote[0] + done, want - done),
+                write,
+            )
+        return want
+
+    def _fallback_transfer(
+        self,
+        ctx: "RankCtx",
+        peer: int,
+        local: tuple[int, int],
+        remote: tuple[int, int],
+        write: bool,
+    ) -> Generator:
+        """Move ``local``/``remote`` bytes via the two-copy shm path.
+
+        CMA is one-sided — the peer is passive — so the fallback spawns a
+        helper process with the *peer's* identity (pid/socket/core) to
+        drive its side of the chunked transfer, then joins it.  Tags are
+        sequence-numbered so concurrent fallbacks never cross-match.
+        """
+        n = min(local[1], remote[1])
+        me = ctx.rank
+        tag = ("cma-fb", me, peer, next(self._fb_seq))
+        my_view = peer_view = None
+        if self.node.verify:
+            buf, off = self.space_of(me).resolve(local[0], n)
+            my_view = buf.view(off, n)
+            rbuf, roff = self.space_of(peer).resolve(remote[0], n)
+            peer_view = rbuf.view(roff, n)
+        place = self._placements[peer]
+        shm = self.shm
+        peer_gen = (
+            shm.recv_data(peer, me, tag, peer_view, n)
+            if write
+            else shm.send_data(peer, me, tag, peer_view, n)
+        )
+        helper = self.node.sim.spawn(
+            peer_gen,
+            name=f"{self.name_prefix}{peer}:cma-fb",
+            pid=self._pids[peer],
+            socket=place.socket,
+            core=place.core,
+        )
+        if write:
+            yield from shm.send_data(me, peer, tag, my_view, n)
+        else:
+            yield from shm.recv_data(me, peer, tag, my_view, n)
+        yield Join(helper)
+        return n
 
 
 class RankCtx:
@@ -231,13 +388,24 @@ class RankCtx:
     def cma_read(
         self, src_rank: int, local: tuple[int, int], remote: tuple[int, int]
     ) -> Generator:
-        """Read ``remote`` of ``src_rank`` into my ``local``."""
+        """Read ``remote`` of ``src_rank`` into my ``local``.
+
+        With a fault plan armed this routes through the resilient ladder
+        (:meth:`Comm.robust_rw`): EINTR retry, resume-from-offset on short
+        counts, per-pair verdict caching, and shm fallback.  Fault-free
+        runs return the raw syscall generator unchanged (bit-identical).
+        """
+        if self.comm.resilient:
+            return self.comm.robust_rw(self, src_rank, local, remote, write=False)
         return self.cma.read_simple(self.proc, self.pid_of(src_rank), local, remote)
 
     def cma_write(
         self, dst_rank: int, local: tuple[int, int], remote: tuple[int, int]
     ) -> Generator:
-        """Write my ``local`` into ``remote`` of ``dst_rank``."""
+        """Write my ``local`` into ``remote`` of ``dst_rank`` (resilient
+        under an armed fault plan, exactly like :meth:`cma_read`)."""
+        if self.comm.resilient:
+            return self.comm.robust_rw(self, dst_rank, local, remote, write=True)
         return self.cma.write_simple(self.proc, self.pid_of(dst_rank), local, remote)
 
     def combine(

@@ -17,17 +17,20 @@ same-user attach; callers should check :func:`cma_available` first.
 
 from repro.realcma.syscall import (
     cma_available,
+    cma_unavailable_reason,
     process_vm_readv,
     process_vm_writev,
     RealCMAError,
 )
-from repro.realcma.harness import one_to_all_read, OneToAllResult
+from repro.realcma.harness import CMAUnavailable, one_to_all_read, OneToAllResult
 
 __all__ = [
     "cma_available",
+    "cma_unavailable_reason",
     "process_vm_readv",
     "process_vm_writev",
     "RealCMAError",
+    "CMAUnavailable",
     "one_to_all_read",
     "OneToAllResult",
 ]

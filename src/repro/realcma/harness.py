@@ -18,12 +18,24 @@ from dataclasses import dataclass
 
 from repro.realcma.syscall import (
     RealCMAError,
-    cma_available,
+    cma_unavailable_reason,
     iov_from_buffer,
     process_vm_readv,
 )
 
-__all__ = ["OneToAllResult", "one_to_all_read"]
+__all__ = ["CMAUnavailable", "OneToAllResult", "one_to_all_read"]
+
+
+class CMAUnavailable(RealCMAError):
+    """Real CMA cannot run on this host; ``.reason`` says exactly why.
+
+    Raised instead of a bare ENOSYS so harness callers (CLIs, tests) can
+    skip-with-reason rather than report a failure.
+    """
+
+    def __init__(self, reason: str):
+        self.reason = reason
+        super().__init__(38, reason)  # 38 == ENOSYS
 
 
 @dataclass(frozen=True)
@@ -73,11 +85,13 @@ def one_to_all_read(
 ) -> OneToAllResult:
     """Run the one-to-all read pattern against the live kernel.
 
-    Raises :class:`RealCMAError` if the syscall is unavailable or the
-    kernel denies the attach (check :func:`cma_available` first).
+    Raises :class:`CMAUnavailable` (with the precise reason) if the
+    syscall is unavailable or the kernel forbids the attach; check
+    :func:`cma_unavailable_reason` first to skip gracefully.
     """
-    if not cma_available():
-        raise RealCMAError(38, "CMA not usable on this host (ENOSYS/ptrace)")
+    reason = cma_unavailable_reason()
+    if reason is not None:
+        raise CMAUnavailable(reason)
     ctx = mp.get_context("fork")
     addr_q = ctx.Queue()
     out_q = ctx.Queue()

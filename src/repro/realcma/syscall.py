@@ -23,6 +23,7 @@ from typing import Sequence
 __all__ = [
     "RealCMAError",
     "cma_available",
+    "cma_unavailable_reason",
     "process_vm_readv",
     "process_vm_writev",
     "iov_from_buffer",
@@ -66,22 +67,38 @@ for _fn in (_READV, _WRITEV):
         ]
 
 
-def cma_available() -> bool:
-    """True when the syscalls exist AND a same-user child can be attached.
+def cma_unavailable_reason() -> str | None:
+    """Why real CMA can't run here, or ``None`` when it can.
 
-    Checks Yama's ``ptrace_scope``: values >= 2 forbid non-root attach even
-    to children, in which case the harness must be skipped.
+    The syscalls must exist in libc AND Yama's ``ptrace_scope`` must allow
+    a same-user child attach: scope >= 2 forbids non-root attach even to
+    children, scope 3 forbids everyone.  The returned string is meant to be
+    surfaced verbatim (test skip reasons, CLI diagnostics).
     """
     if _READV is None:
-        return False
+        if not sys.platform.startswith("linux"):
+            return f"process_vm_readv requires Linux (platform is {sys.platform})"
+        return "libc lacks process_vm_readv/process_vm_writev (kernel < 3.2?)"
     try:
         with open("/proc/sys/kernel/yama/ptrace_scope") as fh:
             scope = int(fh.read().strip())
     except (FileNotFoundError, ValueError):
         scope = 0
     if os.geteuid() == 0:
-        return scope < 3
-    return scope < 2
+        if scope >= 3:
+            return "Yama ptrace_scope=3 forbids all ptrace attach (even root)"
+        return None
+    if scope >= 2:
+        return (
+            f"Yama ptrace_scope={scope} forbids non-root same-user attach "
+            f"(euid={os.geteuid()})"
+        )
+    return None
+
+
+def cma_available() -> bool:
+    """True when the syscalls exist AND a same-user child can be attached."""
+    return cma_unavailable_reason() is None
 
 
 def iov_from_buffer(buf) -> tuple[int, int]:
@@ -96,16 +113,25 @@ def iov_from_buffer(buf) -> tuple[int, int]:
 def _pack(iov: Sequence[tuple[int, int]]):
     arr = (_IoVec * max(len(iov), 1))()
     for i, (addr, ln) in enumerate(iov):
+        if ln < 0:
+            # ctypes would wrap a negative length into a huge c_size_t; the
+            # kernel then rejects it with EINVAL.  Raise the same errno up
+            # front so real and simulated kernels agree bit-for-bit on bad
+            # iovecs (tests/test_realcma.py parity test).
+            raise RealCMAError(errno.EINVAL, f"negative iovec length {ln}")
         arr[i].iov_base = addr
         arr[i].iov_len = ln
     return arr
 
 
 def _call(fn, pid: int, local_iov, remote_iov, flags: int) -> int:
-    if fn is None:
-        raise RealCMAError(errno.ENOSYS, "process_vm_readv/writev unavailable")
+    # Validate iovecs before the availability check: bad arguments are
+    # EINVAL on every host, which lets the real-vs-simulated errno parity
+    # test run even where the syscall itself is missing.
     larr = _pack(local_iov)
     rarr = _pack(remote_iov)
+    if fn is None:
+        raise RealCMAError(errno.ENOSYS, "process_vm_readv/writev unavailable")
     got = fn(pid, larr, len(local_iov), rarr, len(remote_iov), flags)
     if got < 0:
         err = ctypes.get_errno()

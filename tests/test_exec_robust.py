@@ -1,0 +1,178 @@
+"""Harness robustness: checksummed cache entries and per-point timeouts.
+
+The cache must detect (and quarantine, not serve) corrupted entries; the
+pool must bound how long one sweep point can hang, retry it, and raise a
+:class:`~repro.exec.pool.PointTimeoutError` that the broken-pool fallback
+clause cannot swallow.
+"""
+
+import pickle
+import time
+import zlib
+
+import pytest
+
+from repro.exec import context as exec_context
+from repro.exec.cache import CACHE_VERSION, ResultCache
+from repro.exec.pool import PointTimeoutError, map_points
+
+
+# -- module-level so pool workers can pickle them ---------------------------
+
+
+def _double(x):
+    return x * 2
+
+
+def _sleep_marker(x):
+    """Sleeps long when given the marker value, else returns instantly."""
+    if x == "hang":
+        time.sleep(60)
+    return x
+
+
+# -- cache: checksum + quarantine -------------------------------------------
+
+
+class TestChecksummedCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key_for("k", {"x": 1})
+        cache.put(key, [1, 2, 3])
+        hit, value = cache.get(key)
+        assert hit and value == [1, 2, 3]
+
+    def test_entry_is_checksummed_on_disk(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key_for("k", "payload")
+        cache.put(key, "payload")
+        with open(cache.path_for(key), "rb") as f:
+            entry = pickle.load(f)
+        assert entry["salt"] == CACHE_VERSION
+        assert entry["crc"] == zlib.crc32(entry["payload"])
+        assert pickle.loads(entry["payload"]) == "payload"
+
+    def test_unpicklable_garbage_is_quarantined_then_recomputed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key_for("k", "v")
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"not a pickle at all")
+        hit, _ = cache.get(key)
+        assert not hit
+        assert cache.quarantined == 1
+        qfile = tmp_path / "quarantine" / path.name
+        assert qfile.read_bytes() == b"not a pickle at all"  # evidence kept
+        cache.put(key, "fresh")
+        assert cache.get(key) == (True, "fresh")
+
+    def test_bitflip_in_payload_is_caught_by_crc(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key_for("k", "v")
+        cache.put(key, {"answer": 42})
+        path = cache.path_for(key)
+        entry = pickle.loads(path.read_bytes())
+        payload = bytearray(entry["payload"])
+        payload[-1] ^= 0xFF  # valid envelope, corrupt payload bytes
+        entry["payload"] = bytes(payload)
+        path.write_bytes(pickle.dumps(entry))
+        hit, _ = cache.get(key)
+        assert not hit
+        assert cache.quarantined == 1
+        assert not path.exists()  # moved aside, ready for the recompute
+
+    def test_stale_salt_is_dropped_not_quarantined(self, tmp_path):
+        old = ResultCache(tmp_path, salt="ancient-version")
+        new = ResultCache(tmp_path)
+        key = new.key_for("k", "v")
+        # write a well-formed entry under the old salt at the new key's path
+        path = new.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = pickle.dumps("old value")
+        path.write_bytes(
+            pickle.dumps(
+                {"salt": old.salt, "crc": zlib.crc32(payload), "payload": payload}
+            )
+        )
+        hit, _ = new.get(key)
+        assert not hit
+        assert new.quarantined == 0  # versioning, not corruption
+        assert not path.exists()
+        assert not (tmp_path / "quarantine").exists()
+
+    def test_no_tmp_litter(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(5):
+            cache.put(cache.key_for("k", i), i)
+        assert not list(tmp_path.rglob("*.tmp*"))
+
+
+# -- pool: per-point timeout + bounded retry --------------------------------
+
+
+class TestPointTimeout:
+    def test_fast_points_unaffected_by_timeout(self):
+        out = map_points(_double, list(range(8)), workers=2, timeout=30.0)
+        assert out == [x * 2 for x in range(8)]
+
+    def test_hung_point_raises_after_retries(self):
+        t0 = time.monotonic()
+        with pytest.raises(PointTimeoutError) as exc:
+            map_points(
+                _sleep_marker,
+                ["a", "hang", "b"],
+                workers=2,
+                timeout=0.5,
+                retries=1,
+            )
+        assert time.monotonic() - t0 < 30  # bounded, not the full sleep
+        assert exc.value.index == 1
+        assert exc.value.attempts == 2  # original + one retry
+        assert exc.value.timeout == 0.5
+
+    def test_point_timeout_error_is_not_an_oserror(self):
+        # On 3.11+ TimeoutError subclasses OSError; the pool's serial
+        # fallback catches OSError, so the timeout error must not be one.
+        assert not issubclass(PointTimeoutError, OSError)
+        assert issubclass(PointTimeoutError, RuntimeError)
+
+    def test_serial_path_ignores_timeout(self):
+        # workers=1 never submits to a pool, so the budget doesn't apply
+        out = map_points(_double, [1, 2, 3], workers=1, timeout=0.001)
+        assert out == [2, 4, 6]
+
+
+# -- context knobs -----------------------------------------------------------
+
+
+class TestContextKnobs:
+    def test_env_resolution(self, monkeypatch):
+        monkeypatch.setenv(exec_context.ENV_POINT_TIMEOUT, "2.5")
+        monkeypatch.setenv(exec_context.ENV_POINT_RETRIES, "3")
+        ctx = exec_context.ExecContext(workers=1)
+        assert ctx.point_timeout == 2.5
+        assert ctx.point_retries == 3
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(exec_context.ENV_POINT_TIMEOUT, "2.5")
+        ctx = exec_context.ExecContext(workers=1, point_timeout=9)
+        assert ctx.point_timeout == 9.0
+
+    def test_zero_means_unbounded(self):
+        ctx = exec_context.ExecContext(workers=1, point_timeout=0)
+        assert ctx.point_timeout is None
+
+    def test_bad_values_rejected(self, monkeypatch):
+        with pytest.raises(ValueError):
+            exec_context.ExecContext(workers=1, point_timeout="soon")
+        with pytest.raises(ValueError):
+            exec_context.ExecContext(workers=1, point_retries="many")
+
+    def test_from_env_inherits_parent(self):
+        parent = exec_context.ExecContext(
+            workers=1, point_timeout=7, point_retries=2
+        )
+        with exec_context.use_context(parent):
+            child = exec_context.from_env()
+        assert child.point_timeout == 7.0
+        assert child.point_retries == 2

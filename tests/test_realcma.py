@@ -7,16 +7,18 @@ import os
 import pytest
 
 from repro.realcma import (
+    CMAUnavailable,
     RealCMAError,
-    cma_available,
+    cma_unavailable_reason,
     one_to_all_read,
     process_vm_readv,
     process_vm_writev,
 )
 from repro.realcma.syscall import iov_from_buffer
 
+_CMA_REASON = cma_unavailable_reason()
 needs_cma = pytest.mark.skipif(
-    not cma_available(), reason="process_vm_readv unavailable or ptrace denied"
+    _CMA_REASON is not None, reason=_CMA_REASON or "real CMA available"
 )
 
 
@@ -76,6 +78,55 @@ class TestSyscallBindings:
     def test_readonly_buffer_rejected(self):
         with pytest.raises(ValueError):
             iov_from_buffer(memoryview(b"const").obj if False else b"const")
+
+    def test_negative_iovec_length_is_einval(self):
+        """Runs on every host: the binding validates before the syscall."""
+        with pytest.raises(RealCMAError) as exc:
+            process_vm_readv(os.getpid(), [(0x1000, 8)], [(0x2000, -8)])
+        assert exc.value.errno == errno.EINVAL
+
+
+class TestSimulatedParity:
+    """The simulated kernel agrees with the real one on bad-iovec errnos."""
+
+    def test_negative_length_einval_matches(self):
+        from repro.kernel.errors import CMAError
+        from repro.machine import make_generic
+        from repro.mpi import Comm, Node
+
+        node = Node(make_generic(sockets=1, cores_per_socket=2))
+        comm = Comm(node, 2)
+        buf = comm.allocate(0, 4096)
+
+        def rank0(ctx):
+            with pytest.raises(CMAError) as sim_exc:
+                yield from node.cma.process_vm_readv(
+                    ctx.proc, comm.pid_of(1), [buf.iov()], [(buf.addr, -8)]
+                )
+            assert sim_exc.value.errno == errno.EINVAL
+
+        node.sim.run_all([comm.spawn_rank(0, rank0)])
+        # and the real binding raises the identical errno for the same call
+        with pytest.raises(RealCMAError) as real_exc:
+            process_vm_readv(os.getpid(), [(0x1000, 8)], [(0x2000, -8)])
+        assert real_exc.value.errno == errno.EINVAL
+
+
+class TestUnavailableReason:
+    def test_reason_is_none_or_string(self):
+        reason = cma_unavailable_reason()
+        assert reason is None or (isinstance(reason, str) and reason)
+
+    def test_harness_raises_cma_unavailable_with_reason(self, monkeypatch):
+        from repro.realcma import harness
+
+        monkeypatch.setattr(
+            harness, "cma_unavailable_reason", lambda: "forced for the test"
+        )
+        with pytest.raises(CMAUnavailable) as exc:
+            one_to_all_read(readers=1, nbytes=4096, iters=1)
+        assert exc.value.reason == "forced for the test"
+        assert exc.value.errno == 38  # still an ENOSYS-class RealCMAError
 
 
 class TestHarness:
