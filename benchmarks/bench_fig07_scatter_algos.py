@@ -33,9 +33,15 @@ def bench_fig07_scatter_algos(regen):
     assert knl[big][thr_keys[-1]] > best_thr  # largest k not optimal either
     # the best throttle beats parallel read by a wide margin at large sizes
     assert knl[big]["par-read"] > 1.8 * best_thr
-    # parallel read is one of the two losers for large messages
-    worst_two = sorted(knl[big], key=knl[big].get)[-2:]
+    # parallel read is one of the two losers for large messages among the
+    # paper's CMA algorithms (the extension xpmem lane sits outside this
+    # Fig 7 claim: its cold one-shot map+fault-in cost makes it lose large
+    # scatters by design — see EXPERIMENTS.md)
+    cma_row = {k: v for k, v in knl[big].items() if k != "xpmem"}
+    worst_two = sorted(cma_row, key=cma_row.get)[-2:]
     assert "par-read" in worst_two
+    # and the mapped window indeed never wins a one-shot large scatter
+    assert knl[big]["xpmem"] > best_thr
     # throttled 4/8 take the large-message win on KNL
     assert _winner(knl[big]) in ("thr-4", "thr-8")
     # throttling beats both extremes at every size beyond the smallest

@@ -11,7 +11,11 @@ def bench_fig08_gather_algos(regen):
     big = max(knl)
 
     assert min(knl[big], key=knl[big].get) in ("thr-4", "thr-8")
-    worst_two = sorted(knl[big], key=knl[big].get)[-2:]
+    # worst-two claim is about the paper's CMA algorithms; the extension
+    # xpmem lane loses one-shot large gathers by design (cold map+fault-in,
+    # see EXPERIMENTS.md) and would displace par-write here
+    cma_row = {k: v for k, v in knl[big].items() if k != "xpmem"}
+    worst_two = sorted(cma_row, key=cma_row.get)[-2:]
     assert "par-write" in worst_two
 
     p8 = exp.data["power8"]["grid"]

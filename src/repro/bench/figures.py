@@ -330,6 +330,7 @@ def fig07(quick: bool = True) -> Experiment:
         out += [
             (f"thr-{k}", "throttled_read", {"k": k}) for k in _throttles(name, p)
         ]
+        out.append(("xpmem", "xpmem_read", {}))
         return out
 
     return _algo_figure("fig07", "Scatter algorithm comparison", "scatter", variants, quick)
@@ -343,6 +344,7 @@ def fig08(quick: bool = True) -> Experiment:
         out += [
             (f"thr-{k}", "throttled_write", {"k": k}) for k in _throttles(name, p)
         ]
+        out.append(("xpmem", "xpmem_write", {}))
         return out
 
     return _algo_figure("fig08", "Gather algorithm comparison", "gather", variants, quick)
@@ -356,6 +358,7 @@ def fig09(quick: bool = True) -> Experiment:
             ("SHMEM", "pairwise_shm", {}),
             ("CMA-pt2pt", "pairwise_pt2pt", {}),
             ("CMA-coll", "pairwise", {}),
+            ("XPMEM", "xpmem_pairwise", {}),
         ]
 
     return _algo_figure(
@@ -383,6 +386,7 @@ def fig10(quick: bool = True) -> Experiment:
         out.append(("ring-nbr-1", "ring_neighbor", {"j": 1}))
         if name == "broadwell":
             out.append(("ring-nbr-5", "ring_neighbor", {"j": 5}))
+        out.append(("xpmem-ring", "xpmem_ring", {}))
         return out
 
     return _algo_figure(
@@ -407,6 +411,7 @@ def fig11(quick: bool = True) -> Experiment:
         ]
         ks = (2, 4, 8) if name != "power8" else (4, 10)
         out += [(f"knom-{k}", "knomial", {"k": k}) for k in ks]
+        out.append(("xpmem", "xpmem_read", {}))
         return out
 
     return _algo_figure("fig11", "Broadcast algorithm comparison", "bcast", variants, quick)
@@ -777,9 +782,12 @@ def ext_model_scorecard(quick: bool = True) -> Experiment:
         ("scatter", "parallel_read", {}),
         ("scatter", "sequential_write", {}),
         ("scatter", "throttled_read", {"k": 4}),
+        ("scatter", "xpmem_read", {}),
         ("gather", "throttled_write", {"k": 4}),
         ("alltoall", "pairwise", {}),
+        ("alltoall", "xpmem_pairwise", {}),
         ("allgather", "ring_source_read", {}),
+        ("allgather", "xpmem_ring", {}),
         ("allgather", "recursive_doubling", {}),
         ("bcast", "direct_read", {}),
         ("bcast", "direct_write", {}),

@@ -33,10 +33,11 @@ SCHEMA = "bench-engine-v1"
 
 #: Sections whose regressions fail ``--check`` (CI).  The remaining
 #: sections (``engine``, ``sweep``) are reported but non-gating: they are
-#: dominated by host noise on shared CI runners, while ``convoy`` and
-#: ``fig07`` directly cover the convoy fast-forward fast path this repo's
-#: perf work centres on — losing it shows up as a >3x events/sec drop.
-GATED_SECTIONS = ("convoy", "fig07")
+#: dominated by host noise on shared CI runners, while ``convoy``,
+#: ``fig07``, and ``xpmem`` directly cover the convoy fast-forward and
+#: mapped-window steady-state fast paths this repo's perf work centres
+#: on — losing one shows up as a >3x events/sec drop.
+GATED_SECTIONS = ("convoy", "fig07", "xpmem")
 
 #: Regression factor for the gated sections.
 GATE_FACTOR = 3.0
@@ -47,6 +48,15 @@ CONVOY_READERS = (2, 8, 32, 64)
 #: enough that per-run setup doesn't dominate the events/sec rate — the
 #: CI gate compares a smoke run against the committed full-size baseline.
 CONVOY_ROUNDS = (500, 250)
+
+#: xpmem bench: warm mapped-window copy loops at these attacher counts.
+XPMEM_READERS = (2, 8, 32)
+#: warm copies per attacher: (full, smoke).
+XPMEM_ROUNDS = (400, 100)
+#: exported window size in pages; each round re-reads a 4-page slice, so
+#: after the first round every touched page is faulted and the loop sits
+#: on the pin-free steady-state path the gate is meant to protect.
+XPMEM_WINDOW_PAGES = 64
 
 # Engine-bench workload sizes: (full, smoke).
 _SIZES = {
@@ -290,6 +300,146 @@ def _run_convoy_bench(smoke: bool, repeats: int) -> dict:
     return out
 
 
+def _bench_xpmem_steady(readers: int, rounds: int):
+    """Warm mapped-window copies: the pin-free steady-state workload.
+
+    One owner exports a window; ``readers`` attachers map it once, fault
+    its pages on the first round, then spend ``rounds - 1`` rounds on the
+    steady-state path — no mm-lock traffic at all, just priced ``Delay``
+    events.  This is the regime the xpmem lane exists for; regressing it
+    (say, by re-acquiring the owner's mm lock per warm copy) multiplies
+    the event count and trips the events/sec gate.
+    """
+    from repro.machine import make_generic
+    from repro.mpi import Comm, Node
+
+    node = Node(make_generic(sockets=2, cores_per_socket=readers // 2 + 1))
+    comm = Comm(node, readers + 1)
+    ps = node.arch.params.page_size
+    window = comm.allocate(0, XPMEM_WINDOW_PAGES * ps)
+    box = {}
+
+    def owner(ctx):
+        box["segid"] = yield from node.xpmem.make_segid(
+            ctx.proc, window.addr, XPMEM_WINDOW_PAGES * ps
+        )
+
+    node.sim.run_all([comm.spawn_rank(0, owner)])
+
+    bufs = {r: comm.allocate(r, 4 * ps) for r in range(1, readers + 1)}
+
+    def reader(ctx):
+        segid = box["segid"]
+        local = bufs[ctx.rank]
+        yield from node.xpmem.attach(ctx.proc, segid)
+        for j in range(rounds):
+            off = (j % (XPMEM_WINDOW_PAGES // 4)) * 4 * ps
+            yield from node.xpmem.copy_from(
+                ctx.proc, segid, (local.addr, 4 * ps),
+                (window.addr + off, 4 * ps),
+            )
+
+    procs = [comm.spawn_rank(r, reader) for r in range(1, readers + 1)]
+    node.sim.run_all(procs)
+    return node.sim
+
+
+def _single_reader_cost(arch_name: str, mech: str, rounds: int) -> float:
+    """Simulated us for one reader pulling ``rounds`` 4-page slices from a
+    peer, either via CMA (pins every round) or via a mapped window (maps
+    and faults once, then copies pin-free)."""
+    from repro.machine import get_arch
+    from repro.mpi import Comm, Node
+
+    node = Node(get_arch(arch_name))
+    comm = Comm(node, 2)
+    ps = node.arch.params.page_size
+    nbytes = 4 * ps
+    window = comm.allocate(0, nbytes)
+    local = comm.allocate(1, nbytes)
+    box = {}
+
+    def owner(ctx):
+        box["segid"] = yield from node.xpmem.make_segid(
+            ctx.proc, window.addr, nbytes
+        )
+
+    node.sim.run_all([comm.spawn_rank(0, owner)])
+
+    def reader(ctx):
+        if mech == "xpmem":
+            yield from node.xpmem.attach(ctx.proc, box["segid"])
+            for _ in range(rounds):
+                yield from node.xpmem.copy_from(
+                    ctx.proc, box["segid"], (local.addr, nbytes),
+                    (window.addr, nbytes),
+                )
+        else:
+            for _ in range(rounds):
+                yield from node.cma.process_vm_readv(
+                    ctx.proc, comm.pid_of(0), [local.iov()], [window.iov()]
+                )
+
+    t0 = node.sim.now
+    node.sim.run_all([comm.spawn_rank(1, reader)])
+    return node.sim.now - t0
+
+
+def _xpmem_crossover(arch_name: str) -> dict:
+    """Map-amortisation crossover, from two simulated points per mechanism.
+
+    Both costs are affine in the round count r — CMA pays a per-round pin,
+    xpmem a one-time map+fault — so two runs each pin slope and intercept
+    exactly, and the crossover is where the lines meet: the number of
+    re-reads after which the mapped window has paid for itself.  Purely
+    simulated time; deterministic, so it doubles as a sanity artifact in
+    the committed baseline.
+    """
+    r1, r2 = 1, 33
+    c1 = _single_reader_cost(arch_name, "cma", r1)
+    c2 = _single_reader_cost(arch_name, "cma", r2)
+    x1 = _single_reader_cost(arch_name, "xpmem", r1)
+    x2 = _single_reader_cost(arch_name, "xpmem", r2)
+    slope_c = (c2 - c1) / (r2 - r1)
+    slope_x = (x2 - x1) / (r2 - r1)
+    map_cost = (x1 - slope_x) - (c1 - slope_c)
+    saving = slope_c - slope_x
+    rounds = None
+    if saving > 0:
+        import math
+
+        rounds = max(1, math.ceil(map_cost / saving))
+    return {
+        "map_cost_us": round(map_cost, 4),
+        "per_copy_saving_us": round(saving, 4),
+        "crossover_rounds": rounds,
+    }
+
+
+def _run_xpmem_bench(smoke: bool, repeats: int) -> dict:
+    rounds = XPMEM_ROUNDS[1 if smoke else 0]
+    out = {}
+    for readers in XPMEM_READERS:
+        best = float("inf")
+        events = 0
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            sim = _bench_xpmem_steady(readers, rounds)
+            best = min(best, time.perf_counter() - t0)
+            events = sim.events_processed
+        out[f"w{readers}"] = {
+            "events": events,
+            "wall_s": round(best, 6),
+            "events_per_sec": round(events / best, 1),
+        }
+    # no events_per_sec key: reported in the baseline, skipped by the gate
+    out["crossover"] = {
+        arch: _xpmem_crossover(arch)
+        for arch in ("knl", "broadwell", "power8")
+    }
+    return out
+
+
 # --------------------------------------------------------------------------
 # End-to-end slices (uncached, serial: no exec context is active here, so
 # the @_sweepable microbenches run as plain calls).
@@ -415,6 +565,7 @@ def run_suite(smoke: bool = False, repeats: Optional[int] = None) -> dict:
         "smoke": smoke,
         "engine": engine,
         "convoy": _run_convoy_bench(smoke, repeats),
+        "xpmem": _run_xpmem_bench(smoke, repeats),
         "fig03": _run_fig03_slice(
             FIG03_SLICE_SMOKE if smoke else FIG03_SLICE, repeats
         ),
@@ -586,6 +737,18 @@ def main(argv=None) -> int:
         print(
             f"convoy {name:<18} {r['events']:>7} events  "
             f"{r['wall_s']*1e3:8.1f} ms  {r['events_per_sec']:>12,.0f} ev/s"
+        )
+    for name, r in result["xpmem"].items():
+        if "events_per_sec" in r:
+            print(
+                f"xpmem  {name:<18} {r['events']:>7} events  "
+                f"{r['wall_s']*1e3:8.1f} ms  {r['events_per_sec']:>12,.0f} ev/s"
+            )
+    for arch, r in result["xpmem"]["crossover"].items():
+        print(
+            f"xpmem  crossover {arch:<9} map {r['map_cost_us']:8.2f} us  "
+            f"saves {r['per_copy_saving_us']:7.3f} us/copy  "
+            f"pays off after {r['crossover_rounds']} re-reads"
         )
     for section in ("fig03", "fig07"):
         for key, r in result[section].items():

@@ -70,6 +70,65 @@ class AnalyticModel:
     def memcpy(self, eta: int) -> float:
         return eta * self.p_.memcpy_beta
 
+    def xpmem_fault_in(self, pages: int, c: float, p: int) -> float:
+        """First-touch fault-in of ``pages`` window pages, ``c`` attachers.
+
+        Unlike CMA pinning this acquires the owner's mm lock once per
+        *page* (no batching), so the cache-line bounce is paid every page
+        and the fitted gamma(c) — which amortises the bounce over
+        ``pin_batch`` pages — does not apply.  Mechanistic form instead:
+        the ``c`` attachers FIFO round-robin through c*pages one-page
+        holds, each inflated by the bounce of the *live* waiter count —
+        a full queue (c-1 waiters) for the first pages-1 rounds, then a
+        decaying tail (c-1, c-2, ..., 0) as attachers finish their last
+        page and leave.
+        """
+        pp = self.p_
+        if c <= 1:
+            return pages * pp.l_page
+        topo = self.arch.topology
+        if topo.sockets == 1:
+            kappa = pp.kappa_intra
+        else:
+            # fraction of the non-root attachers sharing the root's socket
+            same = sum(
+                1 for r in range(1, p) if topo.socket_of(r) == topo.socket_of(0)
+            )
+            frac = same / max(p - 1, 1)
+            kappa = frac * pp.kappa_intra + (1.0 - frac) * pp.kappa_inter
+        full = (pages - 1) * c * (1.0 + kappa * (c - 1.0))
+        tail = c + kappa * c * (c - 1.0) / 2.0
+        return pp.l_page * (full + tail)
+
+    def xpmem_cold(
+        self,
+        window_pages: int,
+        eta: int,
+        c: float = 1.0,
+        beta_factor: float = 1.0,
+        p: int = 1,
+    ) -> float:
+        """One cold mapped-window transfer: attach + fault-in + copy.
+
+        The attach map cost scales with the *window* (it builds page-table
+        entries for the whole exported region), while fault-in — the only
+        part that touches the owner's mm lock, hence the only contended
+        part — scales with the pages actually copied.  The copy itself is
+        pin-free: no alpha, no lock.
+        """
+        pp = self.p_
+        return (
+            pp.t_xpmem_attach
+            + window_pages * pp.t_xpmem_page
+            + self.xpmem_fault_in(pp.pages(eta), c, p)
+            + self.xpmem_copy(eta, beta_factor)
+        )
+
+    def xpmem_copy(self, eta: int, beta_factor: float = 1.0) -> float:
+        """One warm (steady-state) mapped-window copy: pin-free."""
+        p = self.p_
+        return p.t_xpmem_copy + eta * p.beta * beta_factor
+
     def shm_copy2(self, eta: int) -> float:
         """Two-copy shared-memory transfer of eta bytes (chunked)."""
         p = self.p_
@@ -126,6 +185,22 @@ class AnalyticModel:
             eta, c=k, beta_factor=self.span_factor(p)
         )
 
+    def scatter_xpmem(self, p: int, eta: int) -> float:
+        """Parallel read through the root's window: every reader attaches
+        the whole p-block window cold and faults its own block's pages in
+        a p-1-deep convoy on the root's mm lock (Huang et al.'s regime:
+        map cost up front, pin-free copy after)."""
+        pp = self.p_
+        return (
+            self.t_sm_bcast(p)
+            + pp.t_xpmem_make
+            + self.xpmem_cold(
+                pp.pages(p * eta), eta, c=p - 1,
+                beta_factor=self.span_factor(p), p=p,
+            )
+            + self.t_sm_gather(p)
+        )
+
     # -- gather (Section IV-B): mirror images --------------------------------------
 
     def gather_parallel_write(self, p: int, eta: int) -> float:
@@ -136,6 +211,9 @@ class AnalyticModel:
 
     def gather_throttled(self, p: int, eta: int, k: int) -> float:
         return self.scatter_throttled(p, eta, k)
+
+    def gather_xpmem(self, p: int, eta: int) -> float:
+        return self.scatter_xpmem(p, eta)
 
     # -- alltoall (Section IV-C) -----------------------------------------------------
 
@@ -154,6 +232,22 @@ class AnalyticModel:
         return (
             self.memcpy(eta)
             + (p - 1) * (self.shm_copy2(eta) + self._hop())
+        )
+
+    def alltoall_xpmem(self, p: int, eta: int) -> float:
+        """Pairwise over windows: p-1 cold attaches of whole p-block
+        windows (the dominant cost at scale), each followed by a
+        single-block fault-in and pin-free copy, contention-free."""
+        pp = self.p_
+        f = self.mix_factor(p)
+        return (
+            self.t_sm_allgather(p)
+            + pp.t_xpmem_make
+            + self.memcpy(eta)
+            + (p - 1) * self.xpmem_cold(
+                pp.pages(p * eta), eta, c=1, beta_factor=f
+            )
+            + self.t_barrier(p)
         )
 
     def alltoall_bruck(self, p: int, eta: int) -> float:
@@ -186,6 +280,21 @@ class AnalyticModel:
             self.memcpy(eta)
             + self.t_sm_allgather(p)
             + (p - 1) * (self.cma(eta, c=1, beta_factor=factor) + self._hop())
+        )
+
+    def allgather_xpmem_ring(self, p: int, eta: int) -> float:
+        """Ring-source-read over windows: one-block windows, so the p-1
+        cold attaches are cheap and every copy is pin-free — the lane's
+        best case (no syscall alpha on any of the p-1 steps)."""
+        pp = self.p_
+        return (
+            self.memcpy(eta)
+            + pp.t_xpmem_make
+            + self.t_sm_allgather(p)
+            + (p - 1) * self.xpmem_cold(
+                pp.pages(eta), eta, c=1, beta_factor=self.mix_factor(p)
+            )
+            + self.t_barrier(p)
         )
 
     def allgather_recursive_doubling(self, p: int, eta: int) -> float:
@@ -231,6 +340,22 @@ class AnalyticModel:
             self.t_sm_gather(p)
             + (p - 1) * self.cma(eta, c=1, beta_factor=self.mix_factor(p))
             + self.t_sm_bcast(p)
+        )
+
+    def bcast_xpmem(self, p: int, eta: int) -> float:
+        """Direct read through the root's window: the window is one
+        payload, so map + fault-in both scale with pages(eta) and all
+        p-1 readers fault every page themselves (fault tracking is per
+        attacher), convoying on the root's mm lock."""
+        pp = self.p_
+        return (
+            self.t_sm_bcast(p)
+            + pp.t_xpmem_make
+            + self.xpmem_cold(
+                pp.pages(eta), eta, c=p - 1,
+                beta_factor=self.span_factor(p), p=p,
+            )
+            + self.t_sm_gather(p)
         )
 
     def bcast_knomial(self, p: int, eta: int, k: int) -> float:
@@ -382,22 +507,27 @@ class AnalyticModel:
             ("scatter", "parallel_read"): lambda: self.scatter_parallel_read(p, eta),
             ("scatter", "sequential_write"): lambda: self.scatter_sequential_write(p, eta),
             ("scatter", "throttled_read"): lambda: self.scatter_throttled(p, eta, params["k"]),
+            ("scatter", "xpmem_read"): lambda: self.scatter_xpmem(p, eta),
             ("gather", "parallel_write"): lambda: self.gather_parallel_write(p, eta),
             ("gather", "sequential_read"): lambda: self.gather_sequential_read(p, eta),
             ("gather", "throttled_write"): lambda: self.gather_throttled(p, eta, params["k"]),
+            ("gather", "xpmem_write"): lambda: self.gather_xpmem(p, eta),
             ("alltoall", "pairwise"): lambda: self.alltoall_pairwise(p, eta),
             ("alltoall", "pairwise_pt2pt"): lambda: self.alltoall_pairwise_pt2pt(p, eta),
             ("alltoall", "pairwise_shm"): lambda: self.alltoall_pairwise_shm(p, eta),
             ("alltoall", "bruck"): lambda: self.alltoall_bruck(p, eta),
+            ("alltoall", "xpmem_pairwise"): lambda: self.alltoall_xpmem(p, eta),
             ("allgather", "ring_source_read"): lambda: self.allgather_ring_source(p, eta),
             ("allgather", "ring_source_write"): lambda: self.allgather_ring_source(p, eta),
             ("allgather", "ring_neighbor"): lambda: self.allgather_ring_neighbor(p, eta, params.get("j", 1)),
             ("allgather", "recursive_doubling"): lambda: self.allgather_recursive_doubling(p, eta),
             ("allgather", "bruck"): lambda: self.allgather_bruck(p, eta),
+            ("allgather", "xpmem_ring"): lambda: self.allgather_xpmem_ring(p, eta),
             ("bcast", "direct_read"): lambda: self.bcast_direct_read(p, eta),
             ("bcast", "direct_write"): lambda: self.bcast_direct_write(p, eta),
             ("bcast", "knomial"): lambda: self.bcast_knomial(p, eta, params.get("k", 4)),
             ("bcast", "scatter_allgather"): lambda: self.bcast_scatter_allgather(p, eta),
+            ("bcast", "xpmem_read"): lambda: self.bcast_xpmem(p, eta),
             ("bcast", "shm_slab"): lambda: self.bcast_shm_slab(p, eta),
             ("bcast", "chain"): lambda: self.bcast_chain(p, eta, params.get("segsize", 128 * 1024)),
             ("reduce", "gather_throttled"): lambda: self.reduce_gather_throttled(p, eta, params.get("k", 8)),

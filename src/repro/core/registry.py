@@ -20,6 +20,7 @@ from repro.core import p2p_colls as _p2p
 from repro.core import reduce as _reduce
 from repro.core import scatter as _scatter
 from repro.core import vcollectives as _vcoll
+from repro.core import xpmemcoll as _xp
 
 __all__ = ["AlgorithmInfo", "ALGORITHMS", "get_algorithm", "algorithms_for"]
 
@@ -35,6 +36,11 @@ class AlgorithmInfo:
     #: (size, params) -> None or an error string
     validity: Optional[Callable[[int, dict], Optional[str]]] = None
     description: str = ""
+    #: transport lane the data path rides: "cma" (process_vm_rw), "shm"
+    #: (two-copy slab), "p2p" (rendezvous pt2pt), "xpmem" (mapped
+    #: windows).  Part of sweep grouping and cache keys — two algorithms
+    #: that differ only in lane must never share a cache entry.
+    lane: str = "cma"
 
     def make(self, **params) -> Callable:
         return self.factory(**params)
@@ -124,12 +130,21 @@ ALGORITHMS: dict[str, dict[str, AlgorithmInfo]] = {
             _wrap(_p2p.scatter_binomial_p2p, threshold=0),
             tunable=("threshold",),
             description="baseline: MPICH-style binomial tree over pt2pt",
+            lane="p2p",
         ),
         "fanout_rndv": AlgorithmInfo(
             "scatter",
             "fanout_rndv",
             _plain(_p2p.scatter_fanout_rndv),
             description="baseline: contention-unaware rendezvous fan-out",
+            lane="p2p",
+        ),
+        "xpmem_read": AlgorithmInfo(
+            "scatter",
+            "xpmem_read",
+            _plain(_xp.scatter_xpmem_read),
+            description="parallel read through the root's mapped window",
+            lane="xpmem",
         ),
     },
     "gather": {
@@ -152,12 +167,21 @@ ALGORITHMS: dict[str, dict[str, AlgorithmInfo]] = {
             _wrap(_p2p.gather_binomial_p2p, threshold=0),
             tunable=("threshold",),
             description="baseline: MPICH-style binomial tree over pt2pt",
+            lane="p2p",
         ),
         "fanin_rndv": AlgorithmInfo(
             "gather",
             "fanin_rndv",
             _plain(_p2p.gather_fanin_rndv),
             description="baseline: root drains rendezvous receives serially",
+            lane="p2p",
+        ),
+        "xpmem_write": AlgorithmInfo(
+            "gather",
+            "xpmem_write",
+            _plain(_xp.gather_xpmem_write),
+            description="parallel write through the root's mapped window",
+            lane="xpmem",
         ),
     },
     "alltoall": {
@@ -172,14 +196,23 @@ ALGORITHMS: dict[str, dict[str, AlgorithmInfo]] = {
             "pairwise_pt2pt",
             _plain(_alltoall.pairwise_pt2pt),
             description="same schedule over rendezvous pt2pt",
+            lane="p2p",
         ),
         "pairwise_shm": AlgorithmInfo(
             "alltoall",
             "pairwise_shm",
             _plain(_alltoall.pairwise_shm),
             description="same schedule over two-copy shared memory",
+            lane="shm",
         ),
         "bruck": AlgorithmInfo("alltoall", "bruck", _plain(_alltoall.bruck)),
+        "xpmem_pairwise": AlgorithmInfo(
+            "alltoall",
+            "xpmem_pairwise",
+            _plain(_xp.alltoall_xpmem_pairwise),
+            description="same schedule through mapped windows",
+            lane="xpmem",
+        ),
     },
     "allgather": {
         "ring_source_read": AlgorithmInfo(
@@ -206,6 +239,14 @@ ALGORITHMS: dict[str, dict[str, AlgorithmInfo]] = {
             _wrap(_p2p.allgather_ring_p2p, threshold=0),
             tunable=("threshold",),
             description="baseline: classic ring over pt2pt sendrecv",
+            lane="p2p",
+        ),
+        "xpmem_ring": AlgorithmInfo(
+            "allgather",
+            "xpmem_ring",
+            _plain(_xp.allgather_xpmem_ring),
+            description="ring-source-read through mapped windows",
+            lane="xpmem",
         ),
     },
     "bcast": {
@@ -231,12 +272,21 @@ ALGORITHMS: dict[str, dict[str, AlgorithmInfo]] = {
             _wrap(_p2p.bcast_binomial_p2p, threshold=0),
             tunable=("threshold",),
             description="baseline: binomial tree over pt2pt",
+            lane="p2p",
         ),
         "shm_slab": AlgorithmInfo(
             "bcast",
             "shm_slab",
             _plain(_bcast.shm_slab),
             description="two-copy shared-memory slab (small-message winner)",
+            lane="shm",
+        ),
+        "xpmem_read": AlgorithmInfo(
+            "bcast",
+            "xpmem_read",
+            _plain(_xp.bcast_xpmem_read),
+            description="direct read through the root's mapped window",
+            lane="xpmem",
         ),
         "chain": AlgorithmInfo(
             "bcast",

@@ -52,8 +52,20 @@ class CollectiveSpec:
     #: A frozen dataclass of primitives, so it pickles to pool workers
     #: and fingerprints into cache keys like every other spec field.
     faults: Optional[Any] = None
+    #: transport lane, resolved from the registry (never passed in).  An
+    #: ``init=False`` field so :func:`repro.exec.keying.canonical` picks
+    #: it up: cache keys and sweep group keys must separate lanes even
+    #: when (collective, algorithm) strings alone would collide across
+    #: future renames — and it gives group-key code one obvious handle.
+    lane: str = field(init=False, default="cma")
 
     def __post_init__(self) -> None:
+        try:
+            self.lane = get_algorithm(self.collective, self.algorithm).lane
+        except KeyError:
+            # unknown algorithm: leave the default; resolution fails later
+            # (at run time) with the registry's richer error message
+            self.lane = "cma"
         if self.procs is None:
             self.procs = self.arch.default_procs
         if self.procs < 2:
@@ -110,6 +122,11 @@ class CollectiveResult:
     retries: int = 0
     #: faults the armed plan actually injected, across all kinds
     faults_injected: int = 0
+    #: mapped-window lane counters — all zero for non-xpmem algorithms
+    xpmem_reads: int = 0
+    xpmem_writes: int = 0
+    xpmem_attaches: int = 0
+    xpmem_page_faults: int = 0
 
     @property
     def mean_us(self) -> float:
@@ -173,6 +190,10 @@ def _execute(spec: CollectiveSpec, fn, node: Node, comm: Comm) -> CollectiveResu
         faults_injected=(
             node.fault_state.total_injected if node.fault_state is not None else 0
         ),
+        xpmem_reads=node.xpmem.reads,
+        xpmem_writes=node.xpmem.writes,
+        xpmem_attaches=node.xpmem.attaches,
+        xpmem_page_faults=node.xpmem.page_faults,
     )
 
 

@@ -79,19 +79,22 @@ class Tuner:
         if collective == "scatter":
             out = [("parallel_read", {}), ("sequential_write", {})]
             out += [("throttled_read", {"k": k}) for k in ks]
+            out.append(("xpmem_read", {}))
             return out
         if collective == "gather":
             out = [("parallel_write", {}), ("sequential_read", {})]
             out += [("throttled_write", {"k": k}) for k in ks]
+            out.append(("xpmem_write", {}))
             return out
         if collective == "alltoall":
-            return [("pairwise", {}), ("bruck", {})]
+            return [("pairwise", {}), ("bruck", {}), ("xpmem_pairwise", {})]
         if collective == "allgather":
             out = [
                 ("ring_source_read", {}),
                 ("ring_neighbor", {"j": 1}),
                 ("recursive_doubling", {}),
                 ("bruck", {}),
+                ("xpmem_ring", {}),
             ]
             return out
         if collective == "bcast":
@@ -99,6 +102,7 @@ class Tuner:
                 ("direct_read", {}),
                 ("direct_write", {}),
                 ("scatter_allgather", {}),
+                ("xpmem_read", {}),
             ]
             out += [("knomial", {"k": k}) for k in (2, 4, 8) if k <= p]
             out += [

@@ -27,7 +27,9 @@ __all__ = ["ResultCache", "CACHE_VERSION", "ENV_CACHE_DIR", "default_cache_dir"]
 #: simulator, model, or fitting pipeline changes in a way that alters
 #: results: old entries then silently miss instead of serving stale data.
 #: v2: checksummed entry envelope + CollectiveResult degraded-mode counters.
-CACHE_VERSION = "repro-exec-v2"
+#: v3: transport-lane spec field (xpmem vs cma points must never collide)
+#: + CollectiveResult mapped-window counters.
+CACHE_VERSION = "repro-exec-v3"
 
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 

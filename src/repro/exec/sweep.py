@@ -168,6 +168,9 @@ class _CollectivePoint:
     counts: Any
     faults: Any
     warm: bool
+    #: transport lane (registry-resolved); rides along so group keys can
+    #: separate lanes without re-resolving the registry on the worker side
+    lane: str = "cma"
 
 
 @dataclass
@@ -185,6 +188,10 @@ class _SlimResult:
     fallbacks: int = 0
     retries: int = 0
     faults_injected: int = 0
+    xpmem_reads: int = 0
+    xpmem_writes: int = 0
+    xpmem_attaches: int = 0
+    xpmem_page_faults: int = 0
 
 
 def _slim_point(spec: CollectiveSpec, warm: bool) -> _CollectivePoint:
@@ -213,6 +220,7 @@ def _slim_point(spec: CollectiveSpec, warm: bool) -> _CollectivePoint:
         # faulted points always build fresh nodes (the runner enforces it
         # too; clearing the flag here keeps group_key honest as well).
         warm=warm and spec.faults is None,
+        lane=spec.lane,
     )
 
 
@@ -245,15 +253,22 @@ def _exec_point(pt: _CollectivePoint) -> _SlimResult:
         fallbacks=r.fallbacks,
         retries=r.retries,
         faults_injected=r.faults_injected,
+        xpmem_reads=r.xpmem_reads,
+        xpmem_writes=r.xpmem_writes,
+        xpmem_attaches=r.xpmem_attaches,
+        xpmem_page_faults=r.xpmem_page_faults,
     )
 
 
-def _pool_group_key(pt: _CollectivePoint) -> Tuple[str, int, bool, bool]:
+def _pool_group_key(pt: _CollectivePoint) -> Tuple[str, int, bool, bool, str]:
     """Warm-node pool key of a point (:class:`~repro.core.runner.NodePool`
-    keys nodes on exactly this tuple), stringly ordered for sorting."""
+    keys nodes on exactly this tuple), stringly ordered for sorting, plus
+    the transport lane: same-lane points land adjacently, so a leased
+    node's xpmem attach state is never interleaved across lanes within a
+    worker chunk (each point still resets the node either way)."""
     arch = pt.arch
     name = arch if isinstance(arch, str) else str(getattr(arch, "name", ""))
-    return (name, pt.procs, pt.verify, pt.trace)
+    return (name, pt.procs, pt.verify, pt.trace, pt.lane)
 
 
 def _inflate_result(raw: Any, spec: CollectiveSpec) -> CollectiveResult:
@@ -271,6 +286,10 @@ def _inflate_result(raw: Any, spec: CollectiveSpec) -> CollectiveResult:
         fallbacks=getattr(raw, "fallbacks", 0),
         retries=getattr(raw, "retries", 0),
         faults_injected=getattr(raw, "faults_injected", 0),
+        xpmem_reads=getattr(raw, "xpmem_reads", 0),
+        xpmem_writes=getattr(raw, "xpmem_writes", 0),
+        xpmem_attaches=getattr(raw, "xpmem_attaches", 0),
+        xpmem_page_faults=getattr(raw, "xpmem_page_faults", 0),
     )
 
 

@@ -33,12 +33,18 @@ Injection sites (the ``op`` namespace):
 ``writev`` ``process_vm_writev`` (``pid`` = the attach target)
 ``declare`` KNEM region declaration (``pid`` = the region owner)
 ``tx``     LiMIC descriptor creation (``pid`` = the buffer owner)
+``make``   XPMEM segment creation (``pid`` = the exporting owner)
+``attach`` XPMEM window attach (``pid`` = the segment owner)
+``xcopy``  XPMEM mapped-window copy (``pid`` = the segment owner)
 =========  ==============================================================
 
 Fault kinds:
 
 * ``eperm`` / ``esrch`` / ``efault`` / ``eintr`` — raise the errno from
   the syscall's permission/access-check point.
+* ``enoent`` — the XPMEM stale-segid failure (the owner revoked or
+  recycled the segment): ``attach``/``xcopy`` raise ``ENOENT`` and the
+  resilient layer re-attaches before degrading to shm.
 * ``partial`` — truncate the transfer at a page boundary and return a
   short byte count, like the real ``process_vm_rw`` when it faults midway
   through pinning; ``factor`` picks the truncation point (fraction of the
@@ -56,7 +62,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
-from repro.kernel.errors import EFAULT, EINTR, EPERM, ESRCH
+from repro.kernel.errors import EFAULT, EINTR, ENOENT, EPERM, ESRCH
 
 __all__ = [
     "FaultSpec",
@@ -73,17 +79,24 @@ __all__ = [
 #: ``python -m repro.bench faults`` CLI (never by default runs).
 ENV_FAULTS = "REPRO_FAULTS"
 
-FAULT_KINDS = ("eperm", "esrch", "efault", "eintr", "partial", "straggler")
-FAULT_OPS = ("any", "readv", "writev", "declare", "tx")
+FAULT_KINDS = ("eperm", "enoent", "esrch", "efault", "eintr", "partial", "straggler")
+FAULT_OPS = ("any", "readv", "writev", "declare", "tx", "make", "attach", "xcopy")
 
 #: errno raised per errno-kind fault.
-KIND_ERRNO = {"eperm": EPERM, "esrch": ESRCH, "efault": EFAULT, "eintr": EINTR}
+KIND_ERRNO = {
+    "eperm": EPERM,
+    "enoent": ENOENT,
+    "esrch": ESRCH,
+    "efault": EFAULT,
+    "eintr": EINTR,
+}
 
 _DEFAULT_FACTOR = {"partial": 0.5, "straggler": 2.0}
 #: default probabilities used by :func:`parse_plan` when a kind is named
 #: without an ``@value``.
 _DEFAULT_PROB = {
     "eperm": 0.1,
+    "enoent": 0.05,
     "esrch": 0.05,
     "efault": 0.05,
     "eintr": 0.15,

@@ -13,18 +13,25 @@ This package stands in for the Linux pieces the paper exercises:
 * :mod:`repro.kernel.knem` / :mod:`repro.kernel.limic` — cookie-based
   kernel-module variants, for the related-work comparison: same lock
   bottleneck, different setup overheads.
+* :mod:`repro.kernel.xpmem` — mapped windows: one-time attach cost,
+  per-page first-touch fault-in under the owner's mm lock, then pin-free
+  steady-state copies that never contend.
 """
 
-from repro.kernel.errors import KernelError, CMAError, EFAULT, EINVAL, EPERM, ESRCH
+from repro.kernel.errors import (
+    KernelError, CMAError, EFAULT, EINVAL, ENOENT, EPERM, ESRCH,
+)
 from repro.kernel.address_space import AddressSpace, AddressSpaceManager, Buffer
 from repro.kernel.pagelock import MMLock
 from repro.kernel.cma import CMAKernel, iovec_total
+from repro.kernel.xpmem import XpmemKernel, XpmemSegment
 
 __all__ = [
     "KernelError",
     "CMAError",
     "EFAULT",
     "EINVAL",
+    "ENOENT",
     "EPERM",
     "ESRCH",
     "AddressSpace",
@@ -33,4 +40,6 @@ __all__ = [
     "MMLock",
     "CMAKernel",
     "iovec_total",
+    "XpmemKernel",
+    "XpmemSegment",
 ]

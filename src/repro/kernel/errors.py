@@ -3,10 +3,12 @@
 from __future__ import annotations
 
 __all__ = [
-    "KernelError", "CMAError", "EPERM", "ESRCH", "EINTR", "EINVAL", "EFAULT",
+    "KernelError", "CMAError",
+    "EPERM", "ENOENT", "ESRCH", "EINTR", "EINVAL", "EFAULT",
 ]
 
 EPERM = 1
+ENOENT = 2
 ESRCH = 3
 EINTR = 4
 EFAULT = 14
@@ -14,6 +16,7 @@ EINVAL = 22
 
 _ERRNO_NAMES = {
     EPERM: "EPERM",
+    ENOENT: "ENOENT",
     ESRCH: "ESRCH",
     EINTR: "EINTR",
     EFAULT: "EFAULT",

@@ -76,6 +76,12 @@ class ModelParams:
     t_cookie: float = 2.0  # KNEM region-declaration cost
     t_limic_setup: float = 0.8
 
+    # --- XPMEM-style mapped windows ---
+    t_xpmem_make: float = 1.2  # owner export (segid creation), per region
+    t_xpmem_attach: float = 0.9  # fixed attach/lookup cost per call
+    t_xpmem_page: float = 0.02  # map-table setup per window page (cold)
+    t_xpmem_copy: float = 0.05  # fixed per-copy cost, steady state
+
     # --- inter-node network (multi-node experiments, Fig 17) ---
     alpha_net: float = 1.8  # per-message network latency
     net_gbps: float = 10.0  # ~100 Gb/s EDR IB / Omni-Path

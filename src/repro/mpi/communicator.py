@@ -18,8 +18,8 @@ from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
 
 import numpy as np
 
-from repro.kernel import AddressSpaceManager, Buffer, CMAKernel
-from repro.kernel.errors import CMAError, EFAULT, EINTR, EPERM, ESRCH
+from repro.kernel import AddressSpaceManager, Buffer, CMAKernel, XpmemKernel
+from repro.kernel.errors import CMAError, EFAULT, EINTR, ENOENT, EPERM, ESRCH
 from repro.machine.arch import Architecture
 from repro.shm import ShmTransport
 from repro.shm import collectives as smc
@@ -55,6 +55,8 @@ class Node:
         self.cma = CMAKernel(
             self.sim, self.manager, arch.params, self.tracer, verify=verify
         )
+        #: mapped-window lane, sharing the CMA kernel's spaces/locks/faults
+        self.xpmem = XpmemKernel(self.cma)
         #: immutable fault plan (None = faults off, the default) and its
         #: per-run armed state; re-armed on every reset so a warm node
         #: replays identical injections.
@@ -77,6 +79,9 @@ class Node:
         self.sim.reset()
         self.tracer.clear()
         self.cma.reset()
+        # Address spaces were just reset, so every exported segment and
+        # mapped window dangles: drop them all (stale segids must ENOENT).
+        self.xpmem.reset()
         if self.fault_plan is not None:
             self.fault_state = self.fault_plan.arm()
             self.cma.set_faults(self.fault_state)
@@ -123,6 +128,13 @@ class Comm:
         #: that pair goes straight to the shm fallback — mirroring how MPI
         #: libraries probe CMA once per peer and remember the answer.
         self.cma_verdicts: dict[tuple[int, int], bool] = {}
+        #: per-(caller_rank, target_rank) xpmem verdicts, same contract
+        self.xpmem_verdicts: dict[tuple[int, int], bool] = {}
+        #: (caller_rank, segid) pairs already attached — the MPI-layer
+        #: attach cache: mapped windows are reused across collective calls
+        #: on this communicator, and invalidated wholesale on reset (the
+        #: address-space reset dangles every segid).
+        self._xpmem_attached: dict[tuple[int, int], bool] = {}
         #: degraded-mode counters, surfaced on CollectiveResult
         self.fallbacks = 0
         self.retries = 0
@@ -137,6 +149,8 @@ class Comm:
         self.shm.reset()
         self._op_counters = [itertools.count() for _ in range(self.size)]
         self.cma_verdicts.clear()
+        self.xpmem_verdicts.clear()
+        self._xpmem_attached.clear()
         self.fallbacks = 0
         self.retries = 0
         self._fb_seq = itertools.count()
@@ -265,6 +279,94 @@ class Comm:
             )
         return want
 
+    def robust_expose(self, ctx: "RankCtx", local: tuple[int, int]) -> Generator:
+        """Resilient ``xpmem_make``: EINTR retries, then give up with None.
+
+        Injections are per-call draws, so retrying a failed export can
+        genuinely succeed.  A None segid tells the peers' transfers to go
+        straight to the shm fallback — the collective still completes.
+        """
+        state = self.node.fault_state
+        max_attempts = state.plan.max_attempts if state is not None else 1
+        attempts = 0
+        while attempts < max_attempts:
+            attempts += 1
+            try:
+                segid = yield from self.node.xpmem.make_segid(
+                    ctx.proc, local[0], local[1]
+                )
+                return segid
+            except CMAError as exc:
+                if exc.errno == EINTR:
+                    self.retries += 1
+                    continue
+                if exc.errno in (EPERM, ESRCH, EFAULT, ENOENT):
+                    break
+                raise
+        return None
+
+    def robust_xpmem(
+        self,
+        ctx: "RankCtx",
+        peer: int,
+        segid: int,
+        local: tuple[int, int],
+        remote: tuple[int, int],
+        write: bool,
+    ) -> Generator:
+        """One resilient mapped-window transfer: attach + copy, then fallback.
+
+        The degrade ladder, mirroring :meth:`robust_rw`:
+
+        * ``EINTR`` — re-issue (bounded by the plan's ``max_attempts``);
+        * ``ENOENT`` — stale segid: invalidate the attach-cache entry and
+          retry, so the next attempt re-attaches before copying;
+        * ``EPERM``/``ESRCH`` — permission-class: cache a False xpmem
+          verdict for the pair and fall back;
+        * ``EFAULT`` — fall back for this operation only;
+        * anything else — a programming error, re-raised.
+
+        No short counts here: a mapped-window copy is a memcpy, it either
+        completes or raises, so there is no resume-from-offset arm.
+        """
+        state = self.node.fault_state
+        max_attempts = state.plan.max_attempts if state is not None else 1
+        want = min(local[1], remote[1])
+        pair = (ctx.rank, peer)
+        key = (ctx.rank, segid)
+        cache = self._xpmem_attached
+        xp = self.node.xpmem
+        if self.xpmem_verdicts.get(pair, True):
+            attempts = 0
+            while attempts < max_attempts:
+                attempts += 1
+                try:
+                    if key not in cache:
+                        yield from xp.attach(ctx.proc, segid)
+                        cache[key] = True
+                    fn = xp.copy_to if write else xp.copy_from
+                    yield from fn(ctx.proc, segid, local, remote)
+                    return want
+                except CMAError as exc:
+                    if exc.errno == EINTR:
+                        self.retries += 1
+                        continue
+                    if exc.errno == ENOENT:
+                        cache.pop(key, None)
+                        self.retries += 1
+                        continue
+                    if exc.errno in (EPERM, ESRCH):
+                        self.xpmem_verdicts[pair] = False
+                        break
+                    if exc.errno == EFAULT:
+                        break
+                    raise
+        self.fallbacks += 1
+        yield from self._fallback_transfer(
+            ctx, peer, (local[0], want), (remote[0], want), write
+        )
+        return want
+
     def _fallback_transfer(
         self,
         ctx: "RankCtx",
@@ -321,6 +423,7 @@ class RankCtx:
         self.node = comm.node
         self.sim = comm.node.sim
         self.cma = comm.node.cma
+        self.xpmem = comm.node.xpmem
         self.shm = comm.shm
         self.params = comm.node.params
         self.topology = comm.node.arch.topology
@@ -407,6 +510,92 @@ class RankCtx:
         if self.comm.resilient:
             return self.comm.robust_rw(self, dst_rank, local, remote, write=True)
         return self.cma.write_simple(self.proc, self.pid_of(dst_rank), local, remote)
+
+    # -- mapped-window (xpmem) shortcuts ---------------------------------------
+
+    def xpmem_expose(self, local: tuple[int, int]) -> Generator:
+        """Export my ``(addr, nbytes)`` range; returns the segid.
+
+        Resilient mode retries EINTR and returns None when the export
+        cannot be made — peers then route their transfers through the shm
+        fallback (see :meth:`xpmem_read`).
+        """
+        if self.comm.resilient:
+            return self.comm.robust_expose(self, local)
+        return self.xpmem.make_segid(self.proc, local[0], local[1])
+
+    def xpmem_read(
+        self,
+        src_rank: int,
+        segid: Optional[int],
+        local: tuple[int, int],
+        remote: tuple[int, int],
+    ) -> Generator:
+        """Read ``remote`` of ``src_rank`` through its mapped window.
+
+        Attaches on first use per (rank, segid) — the communicator-level
+        attach cache makes later collectives on this comm reuse the
+        window.  With a fault plan armed this routes through the
+        resilient ladder (:meth:`Comm.robust_xpmem`); a None segid (a
+        failed resilient export) goes straight to the shm fallback.
+        """
+        return self._xpmem_rw(src_rank, segid, local, remote, write=False)
+
+    def xpmem_write(
+        self,
+        dst_rank: int,
+        segid: Optional[int],
+        local: tuple[int, int],
+        remote: tuple[int, int],
+    ) -> Generator:
+        """Write my ``local`` through ``dst_rank``'s mapped window."""
+        return self._xpmem_rw(dst_rank, segid, local, remote, write=True)
+
+    def _xpmem_rw(
+        self,
+        peer: int,
+        segid: Optional[int],
+        local: tuple[int, int],
+        remote: tuple[int, int],
+        write: bool,
+    ) -> Generator:
+        if segid is None:
+            # only reachable in resilient mode: the owner's export failed
+            # after retries, so move the bytes over the two-copy shm path.
+            return self._xpmem_fallback(peer, local, remote, write)
+        if self.comm.resilient:
+            return self.comm.robust_xpmem(self, peer, segid, local, remote, write)
+        return self._xpmem_plain(peer, segid, local, remote, write)
+
+    def _xpmem_plain(
+        self,
+        peer: int,
+        segid: int,
+        local: tuple[int, int],
+        remote: tuple[int, int],
+        write: bool,
+    ) -> Generator:
+        cache = self.comm._xpmem_attached
+        key = (self.rank, segid)
+        if key not in cache:
+            yield from self.xpmem.attach(self.proc, segid)
+            cache[key] = True
+        fn = self.xpmem.copy_to if write else self.xpmem.copy_from
+        return (yield from fn(self.proc, segid, local, remote))
+
+    def _xpmem_fallback(
+        self,
+        peer: int,
+        local: tuple[int, int],
+        remote: tuple[int, int],
+        write: bool,
+    ) -> Generator:
+        self.comm.fallbacks += 1
+        want = min(local[1], remote[1])
+        yield from self.comm._fallback_transfer(
+            self, peer, (local[0], want), (remote[0], want), write
+        )
+        return want
 
     def combine(
         self,

@@ -24,6 +24,7 @@ from repro.sim.engine import (
     Release,
     HoldRelease,
     PinConvoy,
+    FaultConvoy,
     Join,
 )
 from repro.sim.resources import Mutex, Semaphore
@@ -41,6 +42,7 @@ __all__ = [
     "Release",
     "HoldRelease",
     "PinConvoy",
+    "FaultConvoy",
     "Join",
     "Mutex",
     "Semaphore",

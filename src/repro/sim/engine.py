@@ -48,6 +48,7 @@ __all__ = [
     "Release",
     "Join",
     "PinConvoy",
+    "FaultConvoy",
     "SimProcess",
     "Simulator",
 ]
@@ -222,6 +223,39 @@ class PinConvoy(Command):
         return f"PinConvoy({self.lock!r}, {len(self.batches)} batches)"
 
 
+class FaultConvoy(PinConvoy):
+    """A pin convoy fused with a trailing pin-free delay (``tail_dt``).
+
+    The mapped-window kernel's cold-copy fast path: per-page fault-ins
+    contend on the owner's mm lock exactly like a :class:`PinConvoy`
+    (``batches`` is one single-page batch per faulted page), and the
+    steady-state copy that follows never touches the lock — it is a plain
+    delay after the last rejoin.  Yielding ``FaultConvoy(..., tail_dt=t)``
+    is event-stream-identical to ``yield PinConvoy(...)`` followed by
+    ``yield Delay(t)`` — the resume record is allocated at the exact
+    causal point the unfused ``Delay`` push happened, with the same
+    timestamp arithmetic — minus one generator resumption.  The command
+    evaluates to ``npages``.  ``tail_dt == 0.0`` degenerates to plain
+    :class:`PinConvoy` behaviour (inline resume at the last rejoin).
+    """
+
+    __slots__ = ("tail_dt",)
+
+    def __init__(self, lock, hold_fn, batches, mm=None, npages: int = 0,
+                 memo=None, tail_dt: float = 0.0):
+        super().__init__(lock, hold_fn, batches, mm=mm, npages=npages,
+                         memo=memo)
+        if tail_dt < 0:
+            raise SimError(f"negative tail delay {tail_dt!r}")
+        self.tail_dt = tail_dt
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"FaultConvoy({self.lock!r}, {len(self.batches)} batches, "
+            f"tail={self.tail_dt})"
+        )
+
+
 class Join(Command):
     """Block until another process finishes; evaluates to its return value."""
 
@@ -266,7 +300,7 @@ class _Convoy:
     """Engine-side state of one process's in-flight :class:`PinConvoy`."""
 
     __slots__ = ("proc", "lock", "hold_fn", "batches", "idx", "mm", "npages",
-                 "memo", "pure")
+                 "memo", "pure", "tail")
 
     def __init__(self, proc: "SimProcess", cmd: PinConvoy):
         self.proc = proc
@@ -278,6 +312,7 @@ class _Convoy:
         self.npages = cmd.npages
         self.memo = cmd.memo
         self.pure = cmd.pure
+        self.tail = getattr(cmd, "tail_dt", 0.0)
 
 
 class SimProcess:
@@ -612,6 +647,16 @@ class Simulator:
                             continue
                         proc = conv.proc
                         proc.convoy = None
+                        if conv.tail != 0.0:
+                            # FaultConvoy: the pin-free copy tail replaces
+                            # the unfused ``yield Delay(tail)`` — same seq
+                            # allocation point, same timestamp sum.
+                            heappush(
+                                heap,
+                                (now + conv.tail, next_seq(),
+                                 _K_RESUME, proc, conv.npages),
+                            )
+                            continue
                         value = conv.npages
                         # fall through: resume with the pin-loop result
                 elif kind == _K_CGRANT:
@@ -717,7 +762,7 @@ class Simulator:
                             heappush(
                                 heap, (now + dt, next_seq(), _K_CHAIN, proc, cmd.d2)
                             )
-                    elif tc is PinConvoy:
+                    elif tc is PinConvoy or tc is FaultConvoy:
                         proc.state = _BLOCKED
                         proc.convoy = _Convoy(proc, cmd)
                         cmd.lock._acquire(proc)
@@ -877,6 +922,16 @@ class Simulator:
                         conv.proc.convoy = None
                         for rec in vheap:
                             heappush(heap, rec)
+                        if conv.tail != 0.0:
+                            # Tail resume seq comes after the parked
+                            # records' (all allocated earlier), exactly as
+                            # record-mode ordering has it.
+                            heappush(
+                                heap,
+                                (now + conv.tail, next_seq(),
+                                 _K_RESUME, conv.proc, conv.npages),
+                            )
+                            return cnt, None, None
                         return cnt, conv.proc, conv.npages
                 # Steady-state entry: a round just closed and the only
                 # pending virtual record is a pure convoy's release —
@@ -1033,6 +1088,13 @@ class Simulator:
                     if conv.idx >= len(conv.batches):
                         proc.convoy = None
                         lock.holder = None
+                        if conv.tail != 0.0:
+                            heappush(
+                                heap,
+                                (t_rel + conv.tail, next_seq(),
+                                 _K_RESUME, proc, conv.npages),
+                            )
+                            return cnt, True, None, None
                         return cnt, True, proc, conv.npages
                     # re-acquire of the free lock: immediate grant (the
                     # holder write cancels out, proc -> None -> proc)
@@ -1096,6 +1158,18 @@ class Simulator:
                         heappush(
                             heap, (t_rel, seq_r, _K_CRELEASE, gconv, None)
                         )
+                        if conv.tail != 0.0:
+                            # self.now is still the release/chain timestamp
+                            # (t_rel was advanced to the new holder's
+                            # release time above); the tail runs from the
+                            # rejoin, and its seq follows seq_r — the
+                            # order record-mode allocates them in.
+                            heappush(
+                                heap,
+                                (self.now + conv.tail, next_seq(),
+                                 _K_RESUME, proc, conv.npages),
+                            )
+                            return cnt, True, None, None
                         return cnt, True, proc, conv.npages
                 rconv = gconv
         finally:
@@ -1153,7 +1227,7 @@ class Simulator:
             elif tc is DelayChain:
                 proc.state = _BLOCKED
                 self._push(cmd.d1, _K_CHAIN, proc, cmd.d2)
-            elif tc is PinConvoy:
+            elif tc is PinConvoy or tc is FaultConvoy:
                 proc.state = _BLOCKED
                 proc.convoy = _Convoy(proc, cmd)
                 cmd.lock._acquire(proc)

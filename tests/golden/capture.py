@@ -1,8 +1,9 @@
 """Capture the engine-parity golden fixture.
 
 Records simulated-microsecond results for slices of Fig. 3 (one-to-all CMA
-microbenchmarks), Fig. 7 (scatter collectives, verified bytes), and
-Table IV (the NLLS fitting pipeline) into ``engine_parity.json``.  The
+microbenchmarks), Fig. 7 (scatter collectives, verified bytes), Table IV
+(the NLLS fitting pipeline), and two traced mapped-window (xpmem lane)
+collectives into ``engine_parity.json``.  The
 fixture pins the engine's *simulated-time* behaviour: any optimisation of
 the event loop, the resources, or the kernel fast paths must reproduce
 these numbers bit-for-bit (``tests/test_engine_golden.py``).
@@ -37,6 +38,13 @@ FIG07_SPECS = [
     )
 ]
 
+#: Mapped-window lane traces: the per-phase aggregates pin the fault-in
+#: convoy, the attach/map charging, and the pin-free steady-state copies.
+XPMEM_SPECS = [
+    ("scatter", "xpmem_read", 64 * 1024),
+    ("bcast", "xpmem_read", 256 * 1024),
+]
+
 
 def capture() -> dict:
     from repro.bench.microbench import one_to_all_latency
@@ -63,6 +71,24 @@ def capture() -> dict:
             "cma_writes": res.cma_writes,
         }
 
+    xpmem = {}
+    for coll, alg, eta in XPMEM_SPECS:
+        spec = CollectiveSpec(
+            coll, alg, get_arch("knl"), procs=12, eta=eta, trace=True
+        )
+        res = run_collective(spec)
+        xpmem[f"{coll}/{alg}/{eta}"] = {
+            "latency_us": res.latency_us,
+            "per_rank_us": res.per_rank_us,
+            "ctrl_messages": res.ctrl_messages,
+            "sim_events": res.sim_events,
+            "xpmem_reads": res.xpmem_reads,
+            "xpmem_writes": res.xpmem_writes,
+            "xpmem_attaches": res.xpmem_attaches,
+            "xpmem_page_faults": res.xpmem_page_faults,
+            "trace_by_phase": res.trace_by_phase,
+        }
+
     fit = fit_architecture(
         get_arch("broadwell"), page_counts=(10, 20), reader_counts=[1, 2, 4, 8]
     )
@@ -81,7 +107,7 @@ def capture() -> dict:
         ],
     }
 
-    return {"fig03": fig03, "fig07": fig07, "tab04": tab04}
+    return {"fig03": fig03, "fig07": fig07, "tab04": tab04, "xpmem": xpmem}
 
 
 def main() -> None:

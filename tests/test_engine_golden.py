@@ -46,6 +46,13 @@ def test_tab04_fit_bit_exact(recomputed, golden):
     assert recomputed["tab04"] == golden["tab04"]
 
 
+def test_xpmem_traces_bit_exact(recomputed, golden):
+    """The mapped-window lane's traced runs — attach/map charging, the
+    per-page fault-in convoy, and the steady-state copies — are pinned
+    down to the per-phase time aggregates."""
+    assert recomputed["xpmem"] == golden["xpmem"]
+
+
 def test_fixture_survives_json_roundtrip(recomputed):
     """The fixture stores floats via json; the comparison above is only
     bit-exact if serialisation is lossless for every captured value."""

@@ -16,6 +16,7 @@ from repro.kernel.errors import (
     EFAULT,
     EINTR,
     EINVAL,
+    ENOENT,
     EPERM,
     ESRCH,
 )
@@ -24,6 +25,7 @@ from repro.mpi import Comm, Node
 
 ALL_ERRNOS = {
     "EPERM": EPERM,
+    "ENOENT": ENOENT,
     "ESRCH": ESRCH,
     "EINTR": EINTR,
     "EFAULT": EFAULT,
@@ -159,3 +161,174 @@ class TestSyscallErrnos:
             )
 
         _run_expecting(node, comm, body, ALL_ERRNOS[kind.upper()])
+
+
+@pytest.mark.parametrize("trace", [False, True], ids=["fast", "traced"])
+class TestXpmemErrnos:
+    """The mapped-window lane's errnos: natural triggers + injection, with
+    traced and fast paths agreeing (xpmem validates *before* charging any
+    time in both, so there is no fast-path divergence to document)."""
+
+    def test_einval_nonpositive_segment(self, trace):
+        node, comm = _node(trace)
+        a = comm.allocate(0, 4096)
+
+        def body(ctx):
+            yield from node.xpmem.make_segid(ctx.proc, a.addr, 0)
+
+        _run_expecting(node, comm, body, EINVAL)
+
+    def test_efault_unmapped_export(self, trace):
+        node, comm = _node(trace)
+        a = comm.allocate(0, 4096)
+
+        def body(ctx):
+            yield from node.xpmem.make_segid(ctx.proc, a.end + 4096, 64)
+
+        _run_expecting(node, comm, body, EFAULT)
+
+    def test_enoent_stale_segid_on_attach(self, trace):
+        node, comm = _node(trace)
+
+        def body(ctx):
+            yield from node.xpmem.attach(ctx.proc, 0x5E60_0000)
+
+        _run_expecting(node, comm, body, ENOENT)
+
+    def test_esrch_dead_owner_on_attach(self, trace):
+        from repro.kernel.xpmem import XpmemSegment
+
+        node, comm = _node(trace)
+        # an export whose owner's address space no longer exists
+        node.xpmem._segids[0x5E60_0042] = XpmemSegment(
+            0x5E60_0042, 99_999, 0x1000, 4096, 1
+        )
+
+        def body(ctx):
+            yield from node.xpmem.attach(ctx.proc, 0x5E60_0042)
+
+        _run_expecting(node, comm, body, ESRCH)
+
+    def test_eperm_denied_owner_on_attach(self, trace):
+        node, comm = _node(trace)
+        b = comm.allocate(1, 4096)
+        got = {}
+
+        def owner(ctx):
+            got["segid"] = yield from node.xpmem.make_segid(
+                ctx.proc, b.addr, 4096
+            )
+
+        node.sim.run_all([comm.spawn_rank(1, owner)])
+        node.cma.denied_pids.add(comm.pid_of(1))
+
+        def body(ctx):
+            yield from node.xpmem.attach(ctx.proc, got["segid"])
+
+        _run_expecting(node, comm, body, EPERM)
+
+    def _exported(self, node, comm, nbytes=4 * 4096):
+        """Rank 0 exports its own buffer; returns (buffer, segid)."""
+        a = comm.allocate(0, nbytes)
+        got = {}
+
+        def owner(ctx):
+            got["segid"] = yield from node.xpmem.make_segid(
+                ctx.proc, a.addr, nbytes
+            )
+
+        node.sim.run_all([comm.spawn_rank(0, owner)])
+        return a, got["segid"]
+
+    def test_einval_copy_before_attach(self, trace):
+        node, comm = _node(trace)
+        a, segid = self._exported(node, comm)
+
+        def body(ctx):
+            yield from node.xpmem.copy_from(
+                ctx.proc, segid, (0, 64), (a.addr, 64)
+            )
+
+        # rank 1 never attached: the window is not mapped in its space
+        def rank1(ctx):
+            with pytest.raises(CMAError) as exc:
+                yield from body(ctx)
+            assert exc.value.errno == EINVAL
+
+        node.sim.run_all([comm.spawn_rank(1, rank1)])
+
+    def test_einval_negative_copy_length(self, trace):
+        node, comm = _node(trace)
+        a, segid = self._exported(node, comm)
+
+        def body(ctx):
+            yield from node.xpmem.attach(ctx.proc, segid)
+            yield from node.xpmem.copy_from(
+                ctx.proc, segid, (0, 64), (a.addr, -8)
+            )
+
+        _run_expecting(node, comm, body, EINVAL)
+
+    def test_efault_copy_outside_window(self, trace):
+        node, comm = _node(trace)
+        a, segid = self._exported(node, comm)
+
+        def body(ctx):
+            yield from node.xpmem.attach(ctx.proc, segid)
+            yield from node.xpmem.copy_from(
+                ctx.proc, segid, (0, 128), (a.end - 32, 128)
+            )
+
+        _run_expecting(node, comm, body, EFAULT)
+
+    @pytest.mark.parametrize("op", ["make", "attach", "xcopy"])
+    @pytest.mark.parametrize(
+        "kind", ["eperm", "enoent", "esrch", "efault", "eintr"]
+    )
+    def test_injected_errnos(self, trace, op, kind):
+        """Every xpmem errno kind is raisable at every xpmem injection site,
+        in both paths, with the stdlib errno value."""
+        plan = FaultPlan(seed=0, specs=(FaultSpec(kind, op=op, calls=(0,)),))
+        node = Node(
+            make_generic(sockets=1, cores_per_socket=4), trace=trace, faults=plan
+        )
+        comm = Comm(node, 2)
+        a = comm.allocate(0, 4096)
+
+        def body(ctx):
+            segid = yield from node.xpmem.make_segid(ctx.proc, a.addr, 4096)
+            yield from node.xpmem.attach(ctx.proc, segid)
+            yield from node.xpmem.copy_from(
+                ctx.proc, segid, (0, 64), (a.addr, 64)
+            )
+
+        _run_expecting(node, comm, body, ALL_ERRNOS[kind.upper()])
+
+
+def test_empty_armed_plan_is_bit_identical_on_the_xpmem_lane():
+    """Arming a plan with no specs must not perturb an xpmem collective by
+    a single event or nanosecond — the same guarantee the CMA lane has."""
+    from repro.core.runner import CollectiveSpec, run_collective
+    from repro.machine import get_arch
+
+    def run(faults):
+        spec = CollectiveSpec(
+            "scatter", "xpmem_read", get_arch("knl"), procs=6, eta=65536,
+            verify=False, faults=faults,
+        )
+        r = run_collective(spec)
+        return (
+            r.latency_us,
+            tuple(r.per_rank_us),
+            r.ctrl_messages,
+            r.sim_events,
+            r.xpmem_reads,
+            r.xpmem_writes,
+            r.xpmem_attaches,
+            r.xpmem_page_faults,
+            r.fallbacks,
+            r.retries,
+            r.faults_injected,
+        )
+
+    assert run(None) == run(FaultPlan(seed=7, specs=()))

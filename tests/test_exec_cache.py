@@ -170,6 +170,52 @@ def test_stale_salt_entry_is_a_miss(tmp_path):
     assert hit and value == "fresh"
 
 
+class TestLaneKeying:
+    """The transport lane must separate cache entries and pool groups.
+
+    Regression for the xpmem lane: a CMA point and a mapped-window point
+    must never share a cache entry, even if a future rename made their
+    (collective, algorithm) strings collide — the registry-resolved
+    ``lane`` field is the backstop.
+    """
+
+    def _spec(self, algorithm):
+        from repro.machine import get_arch
+
+        return CollectiveSpec(
+            "scatter", algorithm, get_arch("knl"), procs=8, eta=4096,
+            verify=False,
+        )
+
+    def test_lane_resolved_from_registry(self):
+        assert self._spec("parallel_read").lane == "cma"
+        assert self._spec("xpmem_read").lane == "xpmem"
+
+    def test_forged_lane_collision_keys_differ(self):
+        # Same spec except for the lane: simulates the cross-lane rename
+        # that (collective, algorithm) strings alone would not catch.
+        cache = ResultCache("key-only", salt="lane-test")
+        a = self._spec("parallel_read")
+        b = self._spec("parallel_read")
+        b.lane = "xpmem"
+        assert cache.key_for("collective", a) != cache.key_for("collective", b)
+
+    def test_pool_group_key_separates_lanes(self):
+        from repro.exec.sweep import _pool_group_key, _slim_point
+
+        ga = _pool_group_key(_slim_point(self._spec("parallel_read"), True))
+        gb = _pool_group_key(_slim_point(self._spec("xpmem_read"), True))
+        assert ga != gb
+        assert ga[:-1] == gb[:-1]  # only the lane component differs
+
+    def test_cache_version_bumped_past_pre_lane_salt(self):
+        from repro.exec.cache import CACHE_VERSION
+
+        # v2 entries were written before lane existed in the key payload;
+        # they must silently miss rather than be served cross-lane.
+        assert CACHE_VERSION not in ("repro-exec-v1", "repro-exec-v2")
+
+
 def test_put_get_roundtrip_and_atomicity(tmp_path):
     cache = ResultCache(tmp_path / "cache")
     key = cache.key_for("roundtrip", {"a": [1, 2.5, "x"], "b": (True, None)})

@@ -58,7 +58,7 @@ def fingerprint(r):
 class TestPlanConstruction:
     def test_unknown_kind_rejected(self):
         with pytest.raises(ValueError):
-            FaultSpec("enoent")
+            FaultSpec("ebadf")
 
     def test_unknown_op_rejected(self):
         with pytest.raises(ValueError):
@@ -88,7 +88,7 @@ class TestPlanConstruction:
         assert plan.specs[2].resolved_factor == 2.5
 
     def test_parse_plan_rejects_garbage(self):
-        for bad in ("", "7:", "x:eperm", "7:enoent", "7:eperm@zero"):
+        for bad in ("", "7:", "x:eperm", "7:ebadf", "7:eperm@zero"):
             with pytest.raises(ValueError):
                 parse_plan(bad)
 

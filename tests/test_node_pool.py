@@ -67,6 +67,11 @@ _CANDIDATES = [
     ("allreduce", "reduce_bcast", {"k": 2}, False, False),
     ("allreduce", "ring", {}, False, False),
     ("allreduce", "recursive_doubling", {}, False, False),
+    ("scatter", "xpmem_read", {}, True, False),
+    ("gather", "xpmem_write", {}, True, False),
+    ("bcast", "xpmem_read", {}, False, False),
+    ("allgather", "xpmem_ring", {}, False, False),
+    ("alltoall", "xpmem_pairwise", {}, False, False),
 ]
 
 
@@ -117,6 +122,10 @@ def _fields(res):
         res.ctrl_messages,
         res.cma_reads,
         res.cma_writes,
+        res.xpmem_reads,
+        res.xpmem_writes,
+        res.xpmem_attaches,
+        res.xpmem_page_faults,
         res.sim_events,
         None if res.trace_by_phase is None else tuple(sorted(res.trace_by_phase.items())),
     )
@@ -129,6 +138,7 @@ def test_pooled_battery_bit_identical_to_fresh():
     assert any(s.in_place for s in specs)
     assert any(s.trace for s in specs)
     assert any(s.counts is not None for s in specs)
+    assert any(s.lane == "xpmem" for s in specs)
 
     pool = NodePool()
     for spec in specs:
@@ -161,6 +171,61 @@ def test_repeated_pooled_runs_of_one_spec_are_stable():
         again = run_collective_pooled(spec, pool)
         assert _fields(again) == _fields(first)
     assert pool.reuses == 3
+
+
+def test_pooled_xpmem_bit_identical_and_warm():
+    """Mapped-window runs on a warm node must match fresh runs bit for bit,
+    traced and fast: segid minting restarts at the base, so any drift in
+    the attach caches or the fault bookkeeping shows up as a control-plane
+    or latency mismatch."""
+    pool = NodePool()
+    cases = [
+        ("scatter", "xpmem_read"),
+        ("gather", "xpmem_write"),
+        ("bcast", "xpmem_read"),
+        ("allgather", "xpmem_ring"),
+        ("alltoall", "xpmem_pairwise"),
+    ]
+    for trace in (False, True):
+        for coll, alg in cases:
+            spec = CollectiveSpec(
+                coll, alg, get_arch("broadwell"), procs=6, eta=8192,
+                trace=trace,
+            )
+            warmup = run_collective_pooled(spec, pool)  # may build the node
+            pooled = run_collective_pooled(spec, pool)  # guaranteed warm
+            fresh = run_collective(spec)
+            assert _fields(warmup) == _fields(fresh), (coll, alg, trace)
+            assert _fields(pooled) == _fields(fresh), (coll, alg, trace)
+            assert pooled.xpmem_attaches > 0, (coll, alg, trace)
+            assert pooled.xpmem_page_faults > 0, (coll, alg, trace)
+    assert pool.reuses >= len(cases) * 2 - 1
+
+
+def test_pool_release_clears_mapped_window_state():
+    """After an xpmem run, the node handed back by the pool must carry no
+    exports, no attachments, and a restarted segid counter — and the
+    communicator's per-(rank, segid) attach cache must be empty, else a
+    warm rank would skip the attach its fresh twin pays for."""
+    spec = CollectiveSpec(
+        "scatter", "xpmem_read", get_arch("knl"), procs=4, eta=4096
+    )
+    pool = NodePool()
+    run_collective_pooled(spec, pool)
+
+    node, comm = pool.node_for(spec.arch, spec.procs, spec.verify, spec.trace)
+    try:
+        xp = node.xpmem
+        assert not xp._segids and not xp._by_region
+        assert not xp._mapped and not xp._faulted
+        assert (xp.attaches, xp.maps_charged, xp.page_faults) == (0, 0, 0)
+        assert (xp.reads, xp.writes) == (0, 0)
+        from repro.kernel.xpmem import _SEGID_BASE
+
+        assert next(xp._segid_counter) == _SEGID_BASE
+        assert not comm._xpmem_attached
+    finally:
+        pool.release(spec.arch, node, comm)
 
 
 # -- reset contract units ----------------------------------------------------

@@ -132,6 +132,38 @@ def test_convoy_section_shape(result):
         )
 
 
+def test_xpmem_section_shape(result):
+    xp = result["xpmem"]
+    assert set(xp) == {f"w{c}" for c in perfsuite.XPMEM_READERS} | {"crossover"}
+    for name, r in xp.items():
+        if name == "crossover":
+            continue
+        assert r["events"] > 0
+        assert r["wall_s"] > 0
+        assert r["events_per_sec"] == pytest.approx(
+            r["events"] / r["wall_s"], rel=5e-3
+        )
+    for arch in ("knl", "broadwell", "power8"):
+        cx = xp["crossover"][arch]
+        # a mapped window must cost something up front and then beat the
+        # per-round pin, so a finite payoff point always exists
+        assert cx["map_cost_us"] > 0
+        assert cx["per_copy_saving_us"] > 0
+        assert cx["crossover_rounds"] >= 1
+
+
+def test_xpmem_section_is_gated():
+    assert "xpmem" in perfsuite.GATED_SECTIONS
+    base = {"schema": perfsuite.SCHEMA, "engine": {},
+            "xpmem": {"w8": {"events_per_sec": 9000.0}}}
+    cur = {"schema": perfsuite.SCHEMA, "engine": {},
+           "xpmem": {"w8": {"events_per_sec": 2000.0},
+                     "crossover": {"knl": {"map_cost_us": 1.0}}}}
+    sections = perfsuite.check_sections(cur, base)
+    assert len(sections["xpmem"]) == 1
+    assert "w8" in sections["xpmem"][0]
+
+
 def _gated_payload(convoy=None, fig07=None, **ev_per_sec):
     payload = _payload(**ev_per_sec)
     if convoy is not None:
