@@ -1,0 +1,212 @@
+"""Phase-shape builders: whole uncontended data phases as one command.
+
+An untraced, fault-free collective phase is a deterministic straight-line
+schedule — the LogP-style per-phase cost models the phase decomposition
+literature exploits — so instead of trampolining the rank generator
+through every per-transfer ``DelayChain``/``PinConvoy``, the emitters in
+:mod:`repro.core` hand the engine one :class:`~repro.sim.engine.RingStage`
+/ :class:`~repro.sim.engine.TreeRound` /
+:class:`~repro.sim.engine.PairwiseExchange` carrying the phase's full
+segment list.  The engine replays the segments with the same record
+kinds, timestamps and global sequence-number allocation points as the
+unfused generator loop (the bit-identity contract the differential
+battery in ``tests/test_phases.py`` enforces), but without resuming the
+generator until the phase completes.
+
+Builders return ``None`` whenever any step of the phase refuses to fuse
+(tracing, armed faults, denied/unknown pids, cold xpmem windows...); the
+emitter then falls back to its unfused loop, which reproduces the exact
+error semantics and timing.  The fallback is all-or-nothing per phase:
+a half-fused phase would complicate the seq-stream contract for no
+performance gain, since refusals are run-level conditions, not per-step.
+
+Only the *data* phases fuse.  The shm control plane (address allgather,
+completion barriers) and token-gated algorithms (neighbour rings, chain
+pipelines, level-synchronized trees) stay on the generator path: their
+cross-rank control dependencies are the schedule, and precomputing them
+would just re-implement the engine.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.common import is_power_of_two, nonroot_order
+from repro.mpi.communicator import RankCtx
+from repro.sim.engine import PairwiseExchange, RingStage, TreeRound
+
+__all__ = [
+    "fused_ring_read",
+    "fused_ring_write",
+    "fused_pairwise",
+    "fused_fanout_write",
+    "fused_xpmem_ring",
+    "fused_xpmem_pairwise",
+]
+
+
+def _cma_phase_cache(ctx: RankCtx):
+    """The communicator's whole-phase cache, or None to build uncached.
+
+    Warm collective rounds re-emit the exact same phase, so the CMA
+    builders cache their finished commands on the communicator, keyed by
+    value (rank, geometry, peer addresses) plus the kernel's
+    ``seg_epoch``.  Caching is refused outright while any live per-stage
+    gate could refuse a transfer — armed faults, pin convoys disabled,
+    denied pids — so those verdicts are never frozen into a key.
+    """
+    kern = ctx.cma
+    if kern.faults is None and not kern.denied_pids and ctx.sim.use_pin_convoy:
+        return ctx.comm._fused_cache
+    return None
+
+
+def fused_ring_read(ctx: RankCtx, addrs, eta: int) -> Optional[RingStage]:
+    """allgather ring-source-read: step i reads block (rank-i) from its owner."""
+    cache = _cma_phase_cache(ctx)
+    if cache is not None:
+        key = ("rr", ctx.rank, ctx.size, eta, ctx.cma.seg_epoch,
+               ctx.recvbuf.addr, ctx.recvbuf.nbytes, tuple(addrs))
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+    segs = []
+    for i in range(1, ctx.size):
+        src = (ctx.rank - i) % ctx.size
+        s = ctx.cma_segments(
+            src, ctx.recvbuf.iov(src * eta, eta), (addrs[src], eta), write=False
+        )
+        if s is None:
+            return None
+        segs.extend(s)
+    if not segs:
+        return None
+    cmd = RingStage(segs)
+    if cache is not None:
+        cache[key] = cmd
+    return cmd
+
+
+def fused_ring_write(ctx: RankCtx, addrs, eta: int) -> Optional[RingStage]:
+    """allgather ring-source-write: step i writes my block into (rank+i)."""
+    cache = _cma_phase_cache(ctx)
+    if cache is not None:
+        key = ("rw", ctx.rank, ctx.size, eta, ctx.cma.seg_epoch,
+               ctx.sendbuf.addr, ctx.sendbuf.nbytes, tuple(addrs))
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+    segs = []
+    for i in range(1, ctx.size):
+        dst = (ctx.rank + i) % ctx.size
+        s = ctx.cma_segments(
+            dst,
+            ctx.sendbuf.iov(0, eta),
+            (addrs[dst] + ctx.rank * eta, eta),
+            write=True,
+        )
+        if s is None:
+            return None
+        segs.extend(s)
+    if not segs:
+        return None
+    cmd = RingStage(segs)
+    if cache is not None:
+        cache[key] = cmd
+    return cmd
+
+
+def fused_pairwise(ctx: RankCtx, addrs, eta: int) -> Optional[PairwiseExchange]:
+    """alltoall pairwise exchange: p-1 direct reads, one peer per step."""
+    cache = _cma_phase_cache(ctx)
+    if cache is not None:
+        key = ("pw", ctx.rank, ctx.size, eta, ctx.cma.seg_epoch,
+               ctx.recvbuf.addr, ctx.recvbuf.nbytes, tuple(addrs))
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+    pow2 = is_power_of_two(ctx.size)
+    segs = []
+    for step in range(1, ctx.size):
+        peer = ctx.rank ^ step if pow2 else (ctx.rank - step) % ctx.size
+        s = ctx.cma_segments(
+            peer,
+            ctx.recvbuf.iov(peer * eta, eta),
+            (addrs[peer] + ctx.rank * eta, eta),
+            write=False,
+        )
+        if s is None:
+            return None
+        segs.extend(s)
+    if not segs:
+        return None
+    cmd = PairwiseExchange(segs)
+    if cache is not None:
+        cache[key] = cmd
+    return cmd
+
+
+def fused_fanout_write(ctx: RankCtx, addrs, eta: int) -> Optional[TreeRound]:
+    """bcast direct-write root round: p-1 sequential uncontended writes."""
+    cache = _cma_phase_cache(ctx)
+    if cache is not None:
+        key = ("fw", ctx.rank, ctx.size, ctx.root, eta, ctx.cma.seg_epoch,
+               ctx.recvbuf.addr, ctx.recvbuf.nbytes, tuple(addrs))
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+    segs = []
+    for dst in nonroot_order(ctx.size, ctx.root):
+        s = ctx.cma_segments(
+            dst, ctx.recvbuf.iov(0, eta), (addrs[dst], eta), write=True
+        )
+        if s is None:
+            return None
+        segs.extend(s)
+    if not segs:
+        return None
+    cmd = TreeRound(segs)
+    if cache is not None:
+        cache[key] = cmd
+    return cmd
+
+
+def fused_xpmem_ring(ctx: RankCtx, wins, eta: int) -> Optional[RingStage]:
+    """Warm mapped-window ring: p-1 pin-free reads (cold windows refuse)."""
+    segs = []
+    for i in range(1, ctx.size):
+        src = (ctx.rank - i) % ctx.size
+        src_segid, src_addr = wins[src]
+        s = ctx.xpmem_segment(
+            src_segid,
+            ctx.recvbuf.iov(src * eta, eta),
+            (src_addr, eta),
+            write=False,
+        )
+        if s is None:
+            return None
+        segs.append(s)
+    if not segs:
+        return None
+    return RingStage(segs)
+
+
+def fused_xpmem_pairwise(ctx: RankCtx, wins, eta: int) -> Optional[PairwiseExchange]:
+    """Warm mapped-window pairwise exchange: p-1 pin-free reads."""
+    pow2 = is_power_of_two(ctx.size)
+    segs = []
+    for step in range(1, ctx.size):
+        peer = ctx.rank ^ step if pow2 else (ctx.rank - step) % ctx.size
+        peer_segid, peer_addr = wins[peer]
+        s = ctx.xpmem_segment(
+            peer_segid,
+            ctx.recvbuf.iov(peer * eta, eta),
+            (peer_addr + ctx.rank * eta, eta),
+            write=False,
+        )
+        if s is None:
+            return None
+        segs.append(s)
+    if not segs:
+        return None
+    return PairwiseExchange(segs)

@@ -260,15 +260,20 @@ def _exec_point(pt: _CollectivePoint) -> _SlimResult:
     )
 
 
-def _pool_group_key(pt: _CollectivePoint) -> Tuple[str, int, bool, bool, str]:
+def _pool_group_key(
+    pt: _CollectivePoint,
+) -> Tuple[str, int, bool, bool, bool, str]:
     """Warm-node pool key of a point (:class:`~repro.core.runner.NodePool`
     keys nodes on exactly this tuple), stringly ordered for sorting, plus
-    the transport lane: same-lane points land adjacently, so a leased
-    node's xpmem attach state is never interleaved across lanes within a
-    worker chunk (each point still resets the node either way)."""
+    warmness and the transport lane: warm points sort ahead of cold ones
+    (``not pt.warm``) instead of interleaving with them, so a chunk's
+    leased node never alternates between pooled reuse and fresh builds,
+    and same-lane points land adjacently, so a leased node's xpmem attach
+    state is never interleaved across lanes within a worker chunk (each
+    point still resets the node either way)."""
     arch = pt.arch
     name = arch if isinstance(arch, str) else str(getattr(arch, "name", ""))
-    return (name, pt.procs, pt.verify, pt.trace, pt.lane)
+    return (name, pt.procs, pt.verify, pt.trace, not pt.warm, pt.lane)
 
 
 def _inflate_result(raw: Any, spec: CollectiveSpec) -> CollectiveResult:

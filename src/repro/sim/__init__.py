@@ -25,6 +25,10 @@ from repro.sim.engine import (
     HoldRelease,
     PinConvoy,
     FaultConvoy,
+    PhaseCommand,
+    RingStage,
+    TreeRound,
+    PairwiseExchange,
     Join,
 )
 from repro.sim.resources import Mutex, Semaphore
@@ -43,6 +47,10 @@ __all__ = [
     "HoldRelease",
     "PinConvoy",
     "FaultConvoy",
+    "PhaseCommand",
+    "RingStage",
+    "TreeRound",
+    "PairwiseExchange",
     "Join",
     "Mutex",
     "Semaphore",

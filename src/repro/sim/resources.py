@@ -53,6 +53,13 @@ class Mutex:
     operation by an outsider leaves it stale, which is the invalidation:
     the engine falls back to record-at-a-time execution until an O(c)
     rescan (:meth:`_convoy_closed`) proves the set is all-members again.
+
+    Grant routing is convoy-shaped, not command-shaped: a grant inspects
+    ``proc.convoy`` only, so the pin *segments* of fused phase commands
+    (:class:`~repro.sim.engine.RingStage` and friends), which install the
+    same engine-side convoy state, ride the exact same ``_K_CGRANT``
+    records and epoch accounting as a yielded ``PinConvoy`` — no
+    phase-specific branch exists here by design.
     """
 
     __slots__ = (

@@ -208,6 +208,18 @@ class TestLaneKeying:
         assert ga != gb
         assert ga[:-1] == gb[:-1]  # only the lane component differs
 
+    def test_pool_group_key_separates_warm_from_cold(self):
+        # Cold points must not interleave with warm ones inside a chunk:
+        # the key carries ``not warm`` so warm sorts first, cold second.
+        from repro.exec.sweep import _pool_group_key, _slim_point
+
+        warm = _pool_group_key(_slim_point(self._spec("parallel_read"), True))
+        cold = _pool_group_key(_slim_point(self._spec("parallel_read"), False))
+        assert warm != cold
+        assert warm[-2] is False and cold[-2] is True  # not pt.warm
+        assert warm[:-2] == cold[:-2] and warm[-1] == cold[-1]
+        assert sorted([warm, cold])[0] is warm  # warm sorts ahead
+
     def test_cache_version_bumped_past_pre_lane_salt(self):
         from repro.exec.cache import CACHE_VERSION
 
