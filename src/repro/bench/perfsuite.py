@@ -3,9 +3,11 @@
 Unlike everything else under :mod:`repro.bench`, this module measures
 *host* wall-clock time, not simulated microseconds.  It exists so that
 engine optimisations are measured rather than asserted: the suite emits
-``BENCH_engine.json`` with events/sec for a set of engine microbenches and
-per-point wall time for representative Fig 3 / Fig 7 slices, and CI replays
-it (``--smoke --check BENCH_engine.json``) to catch gross regressions.
+``BENCH_engine.json`` with events/sec for a set of engine microbenches,
+per-point wall time for representative Fig 3 / Fig 7 slices, and scalar +
+batched selection rates for the compiled serve-layer decision tables, and
+CI replays it (``--smoke --check BENCH_engine.json``) to catch gross
+regressions.
 
 The benches use only the public simulator API (``Simulator``, ``Delay``,
 ``Acquire``/``Release``, ``Join``, ``Mutex``), so the same file runs
@@ -42,11 +44,14 @@ SCHEMA = "bench-engine-v1"
 #: sections (``engine``, ``sweep``) are reported but non-gating: they are
 #: dominated by host noise on shared CI runners, while ``convoy``,
 #: ``fig07``, and ``xpmem`` directly cover the convoy fast-forward and
-#: mapped-window steady-state fast paths, and ``ring``/``tree``/
-#: ``pairwise`` plus the ``fig09``/``fig10`` walls cover the phase-shape
-#: fast-forward — losing one shows up as a >3x events/sec drop.
+#: mapped-window steady-state fast paths, ``ring``/``tree``/``pairwise``
+#: plus the ``fig09``/``fig10`` walls cover the phase-shape fast-forward,
+#: and ``serve`` covers the compiled-decision-table query engine (scalar
+#: and batched selection rates) — losing one shows up as a >3x
+#: events/sec drop.
 GATED_SECTIONS = (
     "convoy", "fig07", "xpmem", "ring", "tree", "pairwise", "fig09", "fig10",
+    "serve",
 )
 
 #: Regression factor for the gated sections.
@@ -170,6 +175,20 @@ FIG_WALL_POINTS = [(32, 256 * 1024), (64, 64 * 1024), (64, 256 * 1024)]
 #: two), so it cannot drop to small-p geometry where scalar per-round
 #: overhead halves the rate.
 FIG_WALL_POINTS_SMOKE = [(32, 256 * 1024)]
+
+#: Serve bench: compile one decision table on this preset, then hammer
+#: the query engine.  The architecture's full size axis is the paper's
+#: headline (16 MiB on KNL); the smoke axis stops at 1 MiB so CI compiles
+#: in seconds — per-query cost is size-independent, so the smoke rates
+#: land in the same regime as the committed full baseline and the 3x gate
+#: stays meaningful.
+SERVE_ARCH = "knl"
+#: largest compiled message size: (full, smoke)
+SERVE_ETA_MAX = (16 << 20, 1 << 20)
+#: scalar lookups per timed repeat: (full, smoke)
+SERVE_SCALAR_QUERIES = (200_000, 20_000)
+#: batched lookups per timed repeat: (full, smoke)
+SERVE_BATCH_QUERIES = (1_000_000, 100_000)
 
 
 def _bestof(walls: list[float]) -> dict:
@@ -674,6 +693,101 @@ def _run_fig_wall(fig: str, smoke: bool, repeats: int) -> dict:
     }
 
 
+def _run_serve_bench(smoke: bool, repeats: int) -> dict:
+    """Compile a decision table, then price the serve-layer query paths.
+
+    ``compile`` reports the one-time table build (wall, rows, breakpoints,
+    verification probes, the tuner's bounded-memo hit/miss split) but
+    carries no ``events_per_sec`` key, so the regression gate skips it —
+    compile cost is a build-time concern, not a serving-path one.  The
+    ``scalar`` and ``batch`` points *are* gated: each stores its
+    queries/sec under ``events_per_sec`` (a query is the serve engine's
+    event), so the generic >3x check covers selection throughput with no
+    special-casing.  Queries draw random sizes over the whole compiled
+    axis — mostly LRU-front misses, i.e. the rate prices the bisect path,
+    not the cache.
+    """
+    import random as _random
+
+    from repro.machine import get_arch
+    from repro.serve import CompileStats, QueryEngine, compile_table
+    from repro.serve.query import HAVE_NUMPY
+
+    idx = 1 if smoke else 0
+    arch = get_arch(SERVE_ARCH)
+    eta_max = SERVE_ETA_MAX[idx]
+    stats = CompileStats()
+    t0 = time.perf_counter()
+    table = compile_table(arch, eta_max=eta_max, stats=stats)
+    compile_wall = time.perf_counter() - t0
+    engine = QueryEngine(table)
+    p = arch.default_procs
+    colls = table.collectives
+    rng = _random.Random("serve-bench")
+
+    n_scalar = SERVE_SCALAR_QUERIES[idx]
+    queries = [
+        (colls[i % len(colls)], rng.randint(1, eta_max), p)
+        for i in range(n_scalar)
+    ]
+    lookup = engine.lookup
+    scalar_walls = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for coll, eta, pp in queries:
+            lookup(coll, eta, pp)
+        scalar_walls.append(time.perf_counter() - t0)
+
+    n_batch = SERVE_BATCH_QUERIES[idx]
+    cids = [engine.collective_id(c) for c in colls]
+    coll_ids = [cids[i % len(cids)] for i in range(n_batch)]
+    etas = [rng.randint(1, eta_max) for _ in range(n_batch)]
+    procs = [p] * n_batch
+    if HAVE_NUMPY:
+        import numpy as np
+
+        coll_ids = np.asarray(coll_ids, dtype=np.int64)
+        etas = np.asarray(etas, dtype=np.int64)
+        procs = np.asarray(procs, dtype=np.int64)
+    batch_walls = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        engine.lookup_batch(coll_ids, etas, procs)
+        batch_walls.append(time.perf_counter() - t0)
+
+    front = engine.stats()["front"]
+    scalar_best = _bestof(scalar_walls)
+    batch_best = _bestof(batch_walls)
+    return {
+        # no events_per_sec key: reported in the baseline, skipped by the gate
+        "compile": {
+            "wall_s": round(compile_wall, 6),
+            "rows": len(table.rows),
+            "breakpoints": table.breakpoints_total,
+            "decisions": len(table.decisions),
+            "probes": stats.probes,
+            "tuner_hits": stats.tuner_hits,
+            "tuner_misses": stats.tuner_misses,
+            "eta_max": eta_max,
+        },
+        "scalar": {
+            "queries": n_scalar,
+            "events_per_sec": round(n_scalar / scalar_best["wall_s"], 1),
+            "queries_per_sec": round(n_scalar / scalar_best["wall_s"], 1),
+            "front_hits": front["hits"],
+            "front_misses": front["misses"],
+            **scalar_best,
+        },
+        "batch": {
+            "queries": n_batch,
+            "backend": "numpy" if HAVE_NUMPY else "scalar",
+            "events_per_sec": round(n_batch / batch_best["wall_s"], 1),
+            "queries_per_sec": round(n_batch / batch_best["wall_s"], 1),
+            **batch_best,
+        },
+    }
+
+
 # --------------------------------------------------------------------------
 # End-to-end slices (uncached, serial: no exec context is active here, so
 # the @_sweepable microbenches run as plain calls).
@@ -813,6 +927,7 @@ def run_suite(smoke: bool = False, repeats: Optional[int] = None) -> dict:
         ),
         "fig09": _run_fig_wall("fig09", smoke, repeats),
         "fig10": _run_fig_wall("fig10", smoke, repeats),
+        "serve": _run_serve_bench(smoke, repeats),
         "sweep": {
             name: _run_sweep_bench(sl, repeats) for name, sl in slices.items()
         },
@@ -1097,6 +1212,18 @@ def main(argv=None) -> int:
             f"burst {r['wall_s_burst']*1e3:8.1f} ms  "
             f"unfused {r['wall_s_unfused']*1e3:8.1f} ms  "
             f"speedup {r['speedup_vs_unfused']:.2f}x"
+        )
+    sc = result["serve"]
+    print(
+        f"serve compile  {sc['compile']['rows']} rows  "
+        f"{sc['compile']['breakpoints']} breakpoints  "
+        f"{sc['compile']['wall_s']*1e3:8.1f} ms"
+    )
+    for key in ("scalar", "batch"):
+        r = sc[key]
+        print(
+            f"serve {key:<8} {r['queries']:>9} queries  "
+            f"{r['wall_s']*1e3:8.1f} ms  {r['queries_per_sec']:>12,.0f} q/s"
         )
     for name, r in result["sweep"].items():
         print(

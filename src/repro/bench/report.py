@@ -37,7 +37,10 @@ def sweep_summary(stats) -> str:
     """One-line execution summary for a sweep (duck-typed
     :class:`~repro.exec.context.SweepStats`): how many points actually ran
     vs. came from the cache, on how many workers, and what the run points
-    cost in simulator events / compute wall time."""
+    cost in simulator events / compute wall time.  When the stats carry a
+    per-kind breakdown (``by_kind``), each kind's run/hit counts are
+    appended, so a table-compile run's cache misses can't hide inside a
+    figure sweep's aggregate hit count."""
     line = (
         f"[sweep: {stats.points_total} points, {stats.points_run} run, "
         f"{stats.cache_hits} cache hits, {stats.workers} worker(s), "
@@ -49,6 +52,13 @@ def sweep_summary(stats) -> str:
             f"; {_format_count(sim_events)} sim events "
             f"in {stats.run_wall_s:.1f}s"
         )
+    by_kind = getattr(stats, "by_kind", None)
+    if by_kind:
+        parts = [
+            f"{kind} {run} run/{hits} hit"
+            for kind, (_total, run, hits) in sorted(by_kind.items())
+        ]
+        line += "; " + ", ".join(parts)
     return line + "]"
 
 

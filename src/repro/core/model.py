@@ -502,45 +502,52 @@ class AnalyticModel:
         self, collective: str, algorithm: str, p: int, eta: int, **params
     ) -> float:
         """Predict latency (us) by registry-style names."""
-        key = (collective, algorithm)
-        table: dict[tuple[str, str], Callable] = {
-            ("scatter", "parallel_read"): lambda: self.scatter_parallel_read(p, eta),
-            ("scatter", "sequential_write"): lambda: self.scatter_sequential_write(p, eta),
-            ("scatter", "throttled_read"): lambda: self.scatter_throttled(p, eta, params["k"]),
-            ("scatter", "xpmem_read"): lambda: self.scatter_xpmem(p, eta),
-            ("gather", "parallel_write"): lambda: self.gather_parallel_write(p, eta),
-            ("gather", "sequential_read"): lambda: self.gather_sequential_read(p, eta),
-            ("gather", "throttled_write"): lambda: self.gather_throttled(p, eta, params["k"]),
-            ("gather", "xpmem_write"): lambda: self.gather_xpmem(p, eta),
-            ("alltoall", "pairwise"): lambda: self.alltoall_pairwise(p, eta),
-            ("alltoall", "pairwise_pt2pt"): lambda: self.alltoall_pairwise_pt2pt(p, eta),
-            ("alltoall", "pairwise_shm"): lambda: self.alltoall_pairwise_shm(p, eta),
-            ("alltoall", "bruck"): lambda: self.alltoall_bruck(p, eta),
-            ("alltoall", "xpmem_pairwise"): lambda: self.alltoall_xpmem(p, eta),
-            ("allgather", "ring_source_read"): lambda: self.allgather_ring_source(p, eta),
-            ("allgather", "ring_source_write"): lambda: self.allgather_ring_source(p, eta),
-            ("allgather", "ring_neighbor"): lambda: self.allgather_ring_neighbor(p, eta, params.get("j", 1)),
-            ("allgather", "recursive_doubling"): lambda: self.allgather_recursive_doubling(p, eta),
-            ("allgather", "bruck"): lambda: self.allgather_bruck(p, eta),
-            ("allgather", "xpmem_ring"): lambda: self.allgather_xpmem_ring(p, eta),
-            ("bcast", "direct_read"): lambda: self.bcast_direct_read(p, eta),
-            ("bcast", "direct_write"): lambda: self.bcast_direct_write(p, eta),
-            ("bcast", "knomial"): lambda: self.bcast_knomial(p, eta, params.get("k", 4)),
-            ("bcast", "scatter_allgather"): lambda: self.bcast_scatter_allgather(p, eta),
-            ("bcast", "xpmem_read"): lambda: self.bcast_xpmem(p, eta),
-            ("bcast", "shm_slab"): lambda: self.bcast_shm_slab(p, eta),
-            ("bcast", "chain"): lambda: self.bcast_chain(p, eta, params.get("segsize", 128 * 1024)),
-            ("reduce", "gather_throttled"): lambda: self.reduce_gather_throttled(p, eta, params.get("k", 8)),
-            ("reduce", "binomial"): lambda: self.reduce_binomial(p, eta),
-            ("reduce", "ring_rs"): lambda: self.reduce_ring_rs(p, eta),
-            ("allreduce", "reduce_bcast"): lambda: self.allreduce_reduce_bcast(p, eta, params.get("k", 4)),
-            ("allreduce", "ring"): lambda: self.allreduce_ring(p, eta),
-            ("allreduce", "recursive_doubling"): lambda: self.allreduce_recursive_doubling(p, eta),
-        }
         try:
-            return table[key]()
+            return _PREDICT_DISPATCH[(collective, algorithm)](self, p, eta, params)
         except KeyError:
+            # either an unknown (collective, algorithm) pair or a missing
+            # required tuning parameter — both mean "no model here"
             raise KeyError(f"no model for {collective}/{algorithm}") from None
+
+
+#: (collective, algorithm) -> bound cost form.  Built once at import: the
+#: tuner's candidate pricing and the serve-layer table compiler call
+#: ``predict`` millions of times, so the dispatch must not be rebuilt (34
+#: closures plus a dict) per call.
+_PREDICT_DISPATCH: dict[tuple[str, str], Callable] = {
+    ("scatter", "parallel_read"): lambda m, p, eta, prm: m.scatter_parallel_read(p, eta),
+    ("scatter", "sequential_write"): lambda m, p, eta, prm: m.scatter_sequential_write(p, eta),
+    ("scatter", "throttled_read"): lambda m, p, eta, prm: m.scatter_throttled(p, eta, prm["k"]),
+    ("scatter", "xpmem_read"): lambda m, p, eta, prm: m.scatter_xpmem(p, eta),
+    ("gather", "parallel_write"): lambda m, p, eta, prm: m.gather_parallel_write(p, eta),
+    ("gather", "sequential_read"): lambda m, p, eta, prm: m.gather_sequential_read(p, eta),
+    ("gather", "throttled_write"): lambda m, p, eta, prm: m.gather_throttled(p, eta, prm["k"]),
+    ("gather", "xpmem_write"): lambda m, p, eta, prm: m.gather_xpmem(p, eta),
+    ("alltoall", "pairwise"): lambda m, p, eta, prm: m.alltoall_pairwise(p, eta),
+    ("alltoall", "pairwise_pt2pt"): lambda m, p, eta, prm: m.alltoall_pairwise_pt2pt(p, eta),
+    ("alltoall", "pairwise_shm"): lambda m, p, eta, prm: m.alltoall_pairwise_shm(p, eta),
+    ("alltoall", "bruck"): lambda m, p, eta, prm: m.alltoall_bruck(p, eta),
+    ("alltoall", "xpmem_pairwise"): lambda m, p, eta, prm: m.alltoall_xpmem(p, eta),
+    ("allgather", "ring_source_read"): lambda m, p, eta, prm: m.allgather_ring_source(p, eta),
+    ("allgather", "ring_source_write"): lambda m, p, eta, prm: m.allgather_ring_source(p, eta),
+    ("allgather", "ring_neighbor"): lambda m, p, eta, prm: m.allgather_ring_neighbor(p, eta, prm.get("j", 1)),
+    ("allgather", "recursive_doubling"): lambda m, p, eta, prm: m.allgather_recursive_doubling(p, eta),
+    ("allgather", "bruck"): lambda m, p, eta, prm: m.allgather_bruck(p, eta),
+    ("allgather", "xpmem_ring"): lambda m, p, eta, prm: m.allgather_xpmem_ring(p, eta),
+    ("bcast", "direct_read"): lambda m, p, eta, prm: m.bcast_direct_read(p, eta),
+    ("bcast", "direct_write"): lambda m, p, eta, prm: m.bcast_direct_write(p, eta),
+    ("bcast", "knomial"): lambda m, p, eta, prm: m.bcast_knomial(p, eta, prm.get("k", 4)),
+    ("bcast", "scatter_allgather"): lambda m, p, eta, prm: m.bcast_scatter_allgather(p, eta),
+    ("bcast", "xpmem_read"): lambda m, p, eta, prm: m.bcast_xpmem(p, eta),
+    ("bcast", "shm_slab"): lambda m, p, eta, prm: m.bcast_shm_slab(p, eta),
+    ("bcast", "chain"): lambda m, p, eta, prm: m.bcast_chain(p, eta, prm.get("segsize", 128 * 1024)),
+    ("reduce", "gather_throttled"): lambda m, p, eta, prm: m.reduce_gather_throttled(p, eta, prm.get("k", 8)),
+    ("reduce", "binomial"): lambda m, p, eta, prm: m.reduce_binomial(p, eta),
+    ("reduce", "ring_rs"): lambda m, p, eta, prm: m.reduce_ring_rs(p, eta),
+    ("allreduce", "reduce_bcast"): lambda m, p, eta, prm: m.allreduce_reduce_bcast(p, eta, prm.get("k", 4)),
+    ("allreduce", "ring"): lambda m, p, eta, prm: m.allreduce_ring(p, eta),
+    ("allreduce", "recursive_doubling"): lambda m, p, eta, prm: m.allreduce_recursive_doubling(p, eta),
+}
 
 
 def predict(

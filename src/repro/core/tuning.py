@@ -23,7 +23,26 @@ from repro.core.registry import get_algorithm
 from repro.core.runner import CollectiveSpec, CollectiveResult, run_collective
 from repro.machine.arch import Architecture
 
-__all__ = ["Tuner", "Choice"]
+__all__ = ["Tuner", "Choice", "apply_gamma"]
+
+
+def apply_gamma(arch: Architecture, fit) -> Architecture:
+    """A copy of ``arch`` whose model prices contention with ``fit``.
+
+    ``fit`` is a :class:`~repro.core.fitting.GammaFit` (duck-typed: g1/g2/
+    spill/knee).  Used by :meth:`Tuner.calibrated` and by the serve layer's
+    streaming refit, which must rebuild tuners from fresh telemetry fits
+    without re-running the whole Table-IV pipeline.
+    """
+    from dataclasses import replace as _replace
+
+    params = arch.params.with_updates(
+        gamma_g1=fit.g1,
+        gamma_g2=fit.g2,
+        gamma_spill=fit.spill,
+        spill_point=fit.knee,
+    )
+    return _replace(arch, params=params)
 
 
 @dataclass(frozen=True)
@@ -44,11 +63,40 @@ class Choice:
 
 
 class Tuner:
-    """Model-driven algorithm selection for one architecture."""
+    """Model-driven algorithm selection for one architecture.
 
-    def __init__(self, arch: Architecture):
+    ``choose`` memoises per instance behind a *bounded* LRU
+    (``choose_cache_size`` entries).  The memo used to be a
+    ``functools.lru_cache`` on the method itself, which keys on ``self``:
+    one shared class-level cache that pinned every tuner ever constructed
+    (and its architecture tables) for the life of the process — under
+    sweep-scale query mixes that grows without limit.  The per-instance
+    cache dies with the tuner, and its hit/miss counters are exposed via
+    :meth:`choose_cache_stats` so the serve layer can report how much of a
+    table compile was memo traffic.
+    """
+
+    #: default per-instance ``choose`` memo bound
+    CHOOSE_CACHE_SIZE = 4096
+
+    def __init__(self, arch: Architecture, choose_cache_size: Optional[int] = None):
         self.arch = arch
         self.model = AnalyticModel(arch)
+        if choose_cache_size is None:
+            choose_cache_size = self.CHOOSE_CACHE_SIZE
+        self._choose_cached = lru_cache(maxsize=choose_cache_size)(
+            self._choose_fresh
+        )
+
+    def choose_cache_stats(self) -> dict:
+        """Hit/miss/size counters of the bounded ``choose`` memo."""
+        info = self._choose_cached.cache_info()
+        return {
+            "hits": info.hits,
+            "misses": info.misses,
+            "size": info.currsize,
+            "maxsize": info.maxsize,
+        }
 
     @classmethod
     def calibrated(cls, arch: Architecture) -> "Tuner":
@@ -59,18 +107,10 @@ class Tuner:
         with the fitted values, so the tuner prices candidates with the
         same contention behaviour the simulator actually exhibits.
         """
-        from dataclasses import replace as _replace
-
         from repro.core.fitting import fit_architecture
 
         fitted = fit_architecture(arch)
-        params = arch.params.with_updates(
-            gamma_g1=fitted.gamma.g1,
-            gamma_g2=fitted.gamma.g2,
-            gamma_spill=fitted.gamma.spill,
-            spill_point=fitted.gamma.knee,
-        )
-        return cls(_replace(arch, params=params))
+        return cls(apply_gamma(arch, fitted.gamma))
 
     # -- candidate enumeration ---------------------------------------------------
 
@@ -130,8 +170,7 @@ class Tuner:
         p = p or self.arch.default_procs
         return self._choose_cached(collective, eta, p)
 
-    @lru_cache(maxsize=4096)
-    def _choose_cached(self, collective: str, eta: int, p: int) -> Choice:
+    def _choose_fresh(self, collective: str, eta: int, p: int) -> Choice:
         best: Optional[Choice] = None
         for alg, params in self.candidates(collective, p):
             info = get_algorithm(collective, alg)

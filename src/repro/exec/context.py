@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import os
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator, Optional, Union
 
 from repro.exec.cache import ENV_CACHE_DIR, ResultCache
@@ -68,6 +68,20 @@ class SweepStats:
     #: wall seconds spent computing cache misses (the sweep's simulator
     #: cost, as opposed to ``wall_s`` which spans the whole context).
     run_wall_s: float = 0.0
+    #: per-sweep-kind breakdown: kind -> [points_total, points_run,
+    #: cache_hits].  The aggregate counters above fold every kind of work
+    #: together (collective points, microbench points, fits, serve-table
+    #: row compiles), which hides e.g. a table-compile run whose rows all
+    #: missed the cache behind a figure sweep that mostly hit — the
+    #: breakdown is what the report line prints so compile-cost
+    #: regressions stay visible in CI summaries.
+    by_kind: dict = field(default_factory=dict)
+
+    def record_kind(self, kind: str, total: int, run: int, hits: int) -> None:
+        row = self.by_kind.setdefault(kind, [0, 0, 0])
+        row[0] += total
+        row[1] += run
+        row[2] += hits
 
     def merge(self, other: "SweepStats") -> None:
         """Fold a child sweep's counters into this one (wall time excluded:
@@ -77,6 +91,8 @@ class SweepStats:
         self.cache_hits += other.cache_hits
         self.sim_events += other.sim_events
         self.run_wall_s += other.run_wall_s
+        for kind, (total, run, hits) in other.by_kind.items():
+            self.record_kind(kind, total, run, hits)
 
     def describe(self) -> str:
         return (

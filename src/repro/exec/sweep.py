@@ -120,6 +120,7 @@ def sweep(
         ctx.stats.cache_hits += len(points) - len(miss)
         ctx.stats.sim_events += sim_events
         ctx.stats.run_wall_s += run_wall
+        ctx.stats.record_kind(kind, len(points), len(miss), len(points) - len(miss))
     return results
 
 
@@ -375,11 +376,13 @@ def cached_call(kind: str, payload: Any, compute: Callable[[], Any]) -> Any:
     ctx.stats.points_total += 1
     if hit:
         ctx.stats.cache_hits += 1
+        ctx.stats.record_kind(kind, 1, 0, 1)
         return value
     t0 = time.perf_counter()
     value = compute()
     ctx.stats.run_wall_s += time.perf_counter() - t0
     ctx.stats.points_run += 1
     ctx.stats.sim_events += getattr(value, "sim_events", 0) or 0
+    ctx.stats.record_kind(kind, 1, 1, 0)
     ctx.cache.put(key, value)
     return value

@@ -1,0 +1,70 @@
+"""``repro.serve`` — the tuner compiled into a queryable decision surface.
+
+The live :class:`~repro.core.tuning.Tuner` prices every candidate
+algorithm per query; production selection can't afford that on the
+critical path.  This package compiles the tuner's entire choose()
+surface per architecture — exact size breakpoints found by sweep +
+bisection, verified against the live tuner — into an immutable
+:class:`~repro.serve.tables.DecisionTable`, serves it through a
+:class:`~repro.serve.query.QueryEngine` (LRU-fronted scalar bisect,
+numpy-vectorised batch lookups), and keeps it fresh with a streaming
+γ(c) :class:`~repro.serve.refit.GammaRefitter` that recompiles only the
+rows a refit actually perturbs and swaps tables atomically.
+
+Quickstart::
+
+    from repro.machine import get_arch
+    from repro.serve import compile_table, QueryEngine
+
+    arch = get_arch("knl")
+    engine = QueryEngine(compile_table(arch))
+    engine.lookup("bcast", 65536, arch.default_procs).describe()
+
+CLI: ``python -m repro.serve compile --arch knl`` (and ``query``,
+``bench``).
+"""
+
+from repro.serve.tables import (
+    TABLE_VERSION,
+    Decision,
+    DecisionTable,
+    Row,
+    TableSpec,
+    load_table,
+    store_table,
+    table_key,
+)
+from repro.serve.compiler import (
+    DEFAULT_COLLECTIVES,
+    CompileStats,
+    RowChoices,
+    assemble_table,
+    compile_row,
+    compile_rows,
+    compile_table,
+)
+from repro.serve.query import DEFAULT_FRONT_SIZE, HAVE_NUMPY, QueryEngine
+from repro.serve.refit import GammaRefitter, RefitReport
+
+__all__ = [
+    "TABLE_VERSION",
+    "Decision",
+    "DecisionTable",
+    "Row",
+    "TableSpec",
+    "load_table",
+    "store_table",
+    "table_key",
+    "DEFAULT_COLLECTIVES",
+    "CompileStats",
+    "RowChoices",
+    "assemble_table",
+    "compile_row",
+    "compile_rows",
+    "compile_table",
+    "DEFAULT_FRONT_SIZE",
+    "HAVE_NUMPY",
+    "QueryEngine",
+    "GammaRefitter",
+    "RefitReport",
+]

@@ -1,0 +1,229 @@
+"""CLI: compile, inspect, and benchmark serve-layer decision tables.
+
+Usage::
+
+    python -m repro.serve compile --arch knl --cache
+    python -m repro.serve compile --arch knl --procs 16,32,64 --json table.json
+    python -m repro.serve query --arch knl --collective bcast --eta 65536
+    python -m repro.serve bench --smoke
+
+``compile`` prints the per-row breakpoint counts plus the sweep/cache
+summary line (with the per-kind run/hit breakdown, so compile-row cache
+misses are visible next to any other sweep traffic).  With a cache
+enabled the finished table is also stored as a content-addressed
+artifact; a later ``compile`` of the same spec loads it back without
+recompiling a single row.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.bench.report import Table, format_bytes, sweep_summary
+from repro.exec.context import ExecContext, use_context
+from repro.machine import ARCH_NAMES, get_arch
+from repro.serve.compiler import DEFAULT_COLLECTIVES, CompileStats, compile_table
+from repro.serve.query import QueryEngine
+from repro.serve.tables import TableSpec, load_table, store_table
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--arch",
+        default="knl",
+        choices=sorted(ARCH_NAMES),
+        help="architecture preset (default: knl)",
+    )
+    parser.add_argument(
+        "--procs",
+        default=None,
+        help="comma-separated process counts (default: the preset's)",
+    )
+    parser.add_argument(
+        "--collectives",
+        default=None,
+        help=f"comma-separated subset of {','.join(DEFAULT_COLLECTIVES)}",
+    )
+    parser.add_argument(
+        "--eta-max",
+        type=int,
+        default=None,
+        help="largest compiled message size (default: the preset's max)",
+    )
+    parser.add_argument(
+        "--verify-probes",
+        type=int,
+        default=3,
+        help="random verification probes per compiled segment (default: 3)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="row compiles in N processes (default: REPRO_EXEC_WORKERS or serial)",
+    )
+    parser.add_argument(
+        "--cache",
+        action="store_true",
+        help="reuse/store row compiles and the finished table in the "
+             "on-disk cache (REPRO_CACHE_DIR or ~/.cache/repro-exec)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, help="cache directory (implies --cache)"
+    )
+
+
+def _spec_from_args(args) -> TableSpec:
+    arch = get_arch(args.arch)
+    return TableSpec(
+        arch=arch,
+        collectives=(
+            tuple(args.collectives.split(","))
+            if args.collectives
+            else DEFAULT_COLLECTIVES
+        ),
+        procs=(
+            tuple(int(p) for p in args.procs.split(","))
+            if args.procs
+            else (arch.default_procs,)
+        ),
+        eta_max=args.eta_max if args.eta_max else arch.max_msg,
+        verify_probes=args.verify_probes,
+    )
+
+
+def _compile_under_context(args, spec: TableSpec):
+    """Compile (or load) the table for ``spec``; returns (table, stats)."""
+    cache = args.cache_dir if args.cache_dir else (True if args.cache else None)
+    ctx = ExecContext(workers=args.workers, cache=cache)
+    stats = CompileStats()
+    with use_context(ctx):
+        table = None
+        if ctx.cache is not None:
+            table = load_table(spec, ctx.cache)
+        if table is None:
+            table = compile_table(
+                spec.arch,
+                collectives=spec.collectives,
+                procs=spec.procs,
+                eta_max=spec.eta_max,
+                verify_probes=spec.verify_probes,
+                stats=stats,
+            )
+            if ctx.cache is not None:
+                store_table(table, ctx.cache)
+        ctx.stats.wall_s = stats.wall_s
+    return table, stats, ctx
+
+
+def _cmd_compile(args) -> int:
+    spec = _spec_from_args(args)
+    t0 = time.perf_counter()
+    table, stats, ctx = _compile_under_context(args, spec)
+    wall = time.perf_counter() - t0
+    out = Table(
+        f"Compiled decision table: {table.arch_name} "
+        f"(key {table.key[:12]}…)",
+        ["collective", "p", "breakpoints", "first regimes"],
+    )
+    for (coll, p) in sorted(table.rows):
+        row = table.rows[(coll, p)]
+        regimes = " | ".join(
+            f"≥{format_bytes(b)} {table.decisions[d].describe()}"
+            for b, d in list(zip(row.breaks, row.dec_ids))[:3]
+        )
+        more = "" if len(row.breaks) <= 3 else f" … +{len(row.breaks) - 3}"
+        out.add(coll, p, len(row.breaks), regimes + more)
+    print(out.render())
+    print(
+        f"\n[{len(table.rows)} rows, {table.breakpoints_total} breakpoints, "
+        f"{len(table.decisions)} distinct decisions, {wall:.2f}s]"
+    )
+    if stats.rows:
+        print(f"[compile: {stats.describe()}]")
+    else:
+        print("[table served from the artifact cache — no rows compiled]")
+    print(sweep_summary(ctx.stats))
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump(table.to_json(), f, indent=2, sort_keys=True)
+        print(f"[table written to {args.json}]")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    spec = _spec_from_args(args)
+    table, _stats, _ctx = _compile_under_context(args, spec)
+    engine = QueryEngine(table)
+    p = args.p if args.p else spec.procs[0]
+    decision = engine.lookup(args.collective, args.eta, p)
+    print(
+        f"{table.arch_name} {args.collective} eta={format_bytes(args.eta)} "
+        f"p={p}: {decision.describe()}"
+    )
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.bench.perfsuite import _run_serve_bench, _summary_lines
+
+    section = _run_serve_bench(smoke=args.smoke, repeats=args.repeats)
+    c = section["compile"]
+    print(
+        f"compile: {c['rows']} rows, {c['breakpoints']} breakpoints, "
+        f"{c['wall_s']*1e3:.1f} ms"
+    )
+    for key in ("scalar", "batch"):
+        r = section[key]
+        print(
+            f"{key}: {r['queries']} queries in {r['wall_s']*1e3:.1f} ms "
+            f"= {r['queries_per_sec']:,.0f} queries/s"
+        )
+    for line in _summary_lines({"serve": section}, {"serve": []}):
+        print(line)
+    return 0
+
+
+def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Compile and serve tuner decision tables.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compile = sub.add_parser(
+        "compile", help="compile a decision table and print its rows"
+    )
+    _add_common(p_compile)
+    p_compile.add_argument(
+        "--json", default=None, help="also write the table as JSON to this path"
+    )
+    p_compile.set_defaults(fn=_cmd_compile)
+
+    p_query = sub.add_parser("query", help="compile (cached) and answer one lookup")
+    _add_common(p_query)
+    p_query.add_argument("--collective", required=True)
+    p_query.add_argument("--eta", type=int, required=True, help="message size in bytes")
+    p_query.add_argument(
+        "-p", type=int, default=None, help="process count (default: the table's first)"
+    )
+    p_query.set_defaults(fn=_cmd_query)
+
+    p_bench = sub.add_parser(
+        "bench", help="run the serve perf section (compile + queries/s)"
+    )
+    p_bench.add_argument("--smoke", action="store_true", help="tiny axes")
+    p_bench.add_argument("--repeats", type=int, default=1)
+    p_bench.set_defaults(fn=_cmd_bench)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,402 @@
+"""Table compiler: sweep + bisection from live tuner to breakpoint rows.
+
+One row compile turns ``Tuner.choose(collective, ·, p)`` — a function of
+the message size eta — into the minimal sorted-breakpoint representation
+that answers every in-domain query identically:
+
+1. **Sweep** the size axis on a structural grid: every page boundary
+   (the model's only non-affine terms step at ``ceil(eta/s)``), plus a
+   geometric ladder of powers of two with midpoints, plus the domain
+   endpoints.  Winners can only be missed between grid points if a regime
+   flips and flips back inside one page — which step 3 audits.
+2. **Bisect** every adjacent grid pair whose winners differ down to the
+   exact integer eta where the winner changes, recursively splitting when
+   a third winner shows up in between, so the emitted breakpoint is the
+   first eta of its regime — not an approximation at grid resolution.
+3. **Verify**: probe each compiled segment at its endpoints plus
+   ``verify_probes`` deterministic pseudo-random sizes (string-seeded,
+   ``PYTHONHASHSEED``-immune).  Any mismatch against the live tuner
+   re-enters the grid and the row recompiles — the loop only terminates
+   on a row that matched everywhere it was audited.
+
+Row compiles are sweep points: :func:`compile_table` fans them out
+through :func:`repro.exec.sweep.sweep`, so they run on the ProcessPool
+when a context is active and land in the content-addressed on-disk cache
+under ``serve.compile_row`` keys (full architecture fingerprint, exec
+cache-version salt) — recompiling an unchanged table is a cache read.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.core.tuning import Tuner
+from repro.exec import context as _context
+from repro.exec.sweep import _preset_arch, sweep
+from repro.machine.arch import Architecture
+from repro.serve.tables import (
+    TABLE_VERSION,
+    Decision,
+    DecisionTable,
+    Row,
+    TableSpec,
+    table_key,
+)
+
+__all__ = [
+    "DEFAULT_COLLECTIVES",
+    "CompileStats",
+    "RowChoices",
+    "compile_row",
+    "compile_rows",
+    "compile_table",
+    "assemble_table",
+]
+
+#: every collective the tuner serves, in the table's collective-id order
+DEFAULT_COLLECTIVES = (
+    "scatter",
+    "gather",
+    "bcast",
+    "allgather",
+    "alltoall",
+    "reduce",
+    "allreduce",
+)
+
+#: verification re-grid rounds before the compiler gives up (a mismatch
+#: adds its eta to the grid, so each round strictly refines; in practice
+#: round 1 already passes — the grid covers the model's step structure)
+_MAX_VERIFY_ROUNDS = 6
+
+#: per-row choose() memo: a row touches more distinct etas than the
+#: tuner's default bound, and verify probes revisit compile etas
+_ROW_TUNER_MEMO = 1 << 15
+
+
+@dataclass
+class CompileStats:
+    """What one table compile cost (fill by passing to compile_table)."""
+
+    rows: int = 0
+    breakpoints: int = 0
+    #: tuner.choose invocations embodied in the returned rows.  Cached
+    #: rows keep the counters from the compile that produced them, so
+    #: this prices the table, not this run — the run's actual cost split
+    #: is ``cache_hits``/``cache_misses``.
+    probes: int = 0
+    tuner_hits: int = 0
+    tuner_misses: int = 0
+    #: row-level sweep cache traffic for this compile run
+    cache_hits: int = 0
+    cache_misses: int = 0
+    wall_s: float = 0.0
+
+    def describe(self) -> str:
+        return (
+            f"{self.rows} rows, {self.breakpoints} breakpoints, "
+            f"{self.probes} probes "
+            f"(tuner memo {self.tuner_hits} hit/{self.tuner_misses} miss), "
+            f"row cache {self.cache_hits} hit/{self.cache_misses} miss, "
+            f"{self.wall_s:.2f}s"
+        )
+
+
+@dataclass(frozen=True)
+class RowChoices:
+    """One compiled row before decision interning (the worker product)."""
+
+    collective: str
+    p: int
+    eta_max: int
+    breaks: Tuple[int, ...]
+    decisions: Tuple[Decision, ...]  # aligned with breaks
+    probes: int = 0
+    tuner_hits: int = 0
+    tuner_misses: int = 0
+
+
+def _base_grid(eta_max: int, page_size: int) -> list[int]:
+    """The structural sweep grid: page boundaries + geometric ladder.
+
+    The model's candidate costs are affine in eta except for
+    ``ceil(eta/s)`` page terms, so sampling the last/first eta of every
+    page plus a log ladder (for the large smooth regimes) bounds how far
+    any winner change can hide from the sweep — and the bisection step
+    then pins it exactly.
+    """
+    pts = {1, eta_max}
+    v = 2
+    while v < eta_max:
+        pts.update((v - 1, v, v + 1, v + (v >> 1)))
+        v <<= 1
+    for boundary in range(page_size, eta_max, page_size):
+        pts.update((boundary, boundary + 1))
+    return sorted(e for e in pts if 1 <= e <= eta_max)
+
+
+def _boundaries(
+    win: Callable[[int], Any], lo: int, hi: int, wlo: Any, whi: Any, out: list
+) -> None:
+    """All winner-change points in ``(lo, hi]``, assuming each winner's
+    regime is contiguous within the interval; appends ``(first_eta,
+    winner)`` pairs in ascending order."""
+    if hi - lo == 1:
+        out.append((hi, whi))
+        return
+    mid = (lo + hi) // 2
+    wmid = win(mid)
+    if wmid == wlo:
+        _boundaries(win, mid, hi, wmid, whi, out)
+    elif wmid == whi:
+        _boundaries(win, lo, mid, wlo, wmid, out)
+    else:
+        _boundaries(win, lo, mid, wlo, wmid, out)
+        _boundaries(win, mid, hi, wmid, whi, out)
+
+
+def _compile_from_grid(
+    win: Callable[[int], Any], grid: Sequence[int]
+) -> tuple[list[int], list[Any]]:
+    winners = [win(e) for e in grid]
+    breaks = [grid[0]]
+    decs = [winners[0]]
+    for i in range(len(grid) - 1):
+        if winners[i] == winners[i + 1]:
+            continue
+        found: list = []
+        _boundaries(win, grid[i], grid[i + 1], winners[i], winners[i + 1], found)
+        for eta, w in found:
+            if w != decs[-1]:
+                breaks.append(eta)
+                decs.append(w)
+    return breaks, decs
+
+
+def _verify_row(
+    win: Callable[[int], Any],
+    breaks: Sequence[int],
+    decs: Sequence[Any],
+    eta_max: int,
+    probes: int,
+    seed: str,
+) -> set[int]:
+    """Audit the compiled row against the live winner function.
+
+    Probes every segment at both endpoints plus ``probes`` deterministic
+    pseudo-random interior sizes; returns the (empty on success) set of
+    etas to add to the grid — each mismatch plus its neighbours, so the
+    recompile bisects right through the miss.
+    """
+    rng = random.Random(seed)
+    bad: set[int] = set()
+    for i, w in enumerate(decs):
+        start = breaks[i]
+        end = (breaks[i + 1] - 1) if i + 1 < len(breaks) else eta_max
+        etas = {start, end}
+        for _ in range(probes):
+            etas.add(rng.randint(start, end))
+        for eta in sorted(etas):
+            if win(eta) != w:
+                bad.update(
+                    e for e in (eta - 1, eta, eta + 1) if 1 <= e <= eta_max
+                )
+    return bad
+
+
+def compile_row(
+    tuner: Tuner,
+    collective: str,
+    p: int,
+    eta_max: int,
+    verify_probes: int = 3,
+) -> RowChoices:
+    """Compile one (collective, p) row against ``tuner``, verified."""
+    if eta_max < 2:
+        raise ValueError("eta_max must be at least 2")
+    calls = [0]
+
+    def win(eta: int):
+        calls[0] += 1
+        c = tuner.choose(collective, eta, p)
+        return (c.algorithm, c.params)
+
+    grid = _base_grid(eta_max, tuner.arch.params.page_size)
+    seed = f"serve-verify:{tuner.arch.name}:{collective}:{p}:{eta_max}"
+    for _ in range(_MAX_VERIFY_ROUNDS):
+        breaks, decs = _compile_from_grid(win, grid)
+        bad = _verify_row(win, breaks, decs, eta_max, verify_probes, seed)
+        if not bad:
+            break
+        grid = sorted(set(grid) | bad)
+    else:  # pragma: no cover - would need a pathological model
+        raise RuntimeError(
+            f"row ({collective}, p={p}) failed to stabilise after "
+            f"{_MAX_VERIFY_ROUNDS} verification rounds"
+        )
+    stats = tuner.choose_cache_stats()
+    return RowChoices(
+        collective=collective,
+        p=p,
+        eta_max=eta_max,
+        breaks=tuple(breaks),
+        decisions=tuple(Decision(alg, params) for alg, params in decs),
+        probes=calls[0],
+        tuner_hits=stats["hits"],
+        tuner_misses=stats["misses"],
+    )
+
+
+# -- sweep-farm transport ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _RowPoint:
+    """Slim picklable compile unit; ``arch`` is a preset name whenever the
+    architecture is value-equal to that preset (same trick as
+    :class:`repro.exec.sweep._CollectivePoint`)."""
+
+    arch: Any  # str preset name, or a full Architecture
+    collective: str
+    p: int
+    eta_max: int
+    verify_probes: int
+
+
+def _slim_row_point(
+    arch: Architecture, collective: str, p: int, eta_max: int, verify_probes: int
+) -> _RowPoint:
+    slim: Any = arch
+    name = getattr(arch, "name", None)
+    if isinstance(name, str):
+        try:
+            if _preset_arch(name) == arch:
+                slim = name
+        except KeyError:
+            pass
+    return _RowPoint(slim, collective, p, eta_max, verify_probes)
+
+
+def _compile_row_point(pt: _RowPoint) -> RowChoices:
+    """Worker-side execution: rebuild the tuner, compile the row."""
+    arch = _preset_arch(pt.arch) if isinstance(pt.arch, str) else pt.arch
+    tuner = Tuner(arch, choose_cache_size=_ROW_TUNER_MEMO)
+    return compile_row(tuner, pt.collective, pt.p, pt.eta_max, pt.verify_probes)
+
+
+def compile_rows(
+    arch: Architecture,
+    keys: Iterable[Tuple[str, int]],
+    eta_max: int,
+    verify_probes: int = 3,
+    stats: Optional[CompileStats] = None,
+) -> Dict[Tuple[str, int], RowChoices]:
+    """Compile the given (collective, p) rows through the sweep farm.
+
+    Cache payloads fingerprint the *full* architecture (never the slimmed
+    preset name), the row axes, and :data:`TABLE_VERSION`, so a refit's
+    perturbed params or a format bump can't be served stale rows.
+    """
+    keys = list(keys)
+    points = [
+        _slim_row_point(arch, coll, p, eta_max, verify_probes)
+        for coll, p in keys
+    ]
+    payloads = [
+        (arch, coll, p, eta_max, verify_probes, TABLE_VERSION)
+        for coll, p in keys
+    ]
+    ctx = _context.current()
+    before = (
+        list(ctx.stats.by_kind.get("serve.compile_row", (0, 0, 0)))
+        if ctx is not None
+        else [0, 0, 0]
+    )
+    t0 = time.perf_counter()
+    rows = sweep("serve.compile_row", _compile_row_point, points, payloads=payloads)
+    wall = time.perf_counter() - t0
+    if stats is not None:
+        stats.rows += len(rows)
+        stats.breakpoints += sum(len(r.breaks) for r in rows)
+        stats.probes += sum(r.probes for r in rows)
+        stats.tuner_hits += sum(r.tuner_hits for r in rows)
+        stats.tuner_misses += sum(r.tuner_misses for r in rows)
+        stats.wall_s += wall
+        if ctx is not None:
+            after = ctx.stats.by_kind.get("serve.compile_row", (0, 0, 0))
+            stats.cache_misses += after[1] - before[1]
+            stats.cache_hits += after[2] - before[2]
+        else:
+            stats.cache_misses += len(rows)
+    return dict(zip(keys, rows))
+
+
+def assemble_table(
+    arch_name: str,
+    key: str,
+    collectives: Sequence[str],
+    row_choices: Dict[Tuple[str, int], RowChoices],
+) -> DecisionTable:
+    """Intern decisions across rows and freeze the table.
+
+    Interning order is deterministic (sorted row keys, segment order), so
+    the same rows always produce the same decision ids — a refit that
+    changes nothing reproduces the old table bit for bit.
+    """
+    pool: dict[Decision, int] = {}
+    rows: dict[Tuple[str, int], Row] = {}
+    for rk in sorted(row_choices):
+        rc = row_choices[rk]
+        ids = []
+        for d in rc.decisions:
+            if d not in pool:
+                pool[d] = len(pool)
+            ids.append(pool[d])
+        rows[rk] = Row(
+            collective=rc.collective,
+            p=rc.p,
+            eta_max=rc.eta_max,
+            breaks=rc.breaks,
+            dec_ids=tuple(ids),
+        )
+    return DecisionTable(
+        arch_name=arch_name,
+        key=key,
+        collectives=tuple(collectives),
+        decisions=tuple(sorted(pool, key=pool.get)),
+        rows=rows,
+    )
+
+
+def compile_table(
+    arch: Architecture,
+    collectives: Sequence[str] = DEFAULT_COLLECTIVES,
+    procs: Optional[Sequence[int]] = None,
+    eta_max: Optional[int] = None,
+    verify_probes: int = 3,
+    stats: Optional[CompileStats] = None,
+) -> DecisionTable:
+    """Compile the full decision surface for one architecture.
+
+    Defaults sweep every collective at the architecture's default process
+    count over ``[1, arch.max_msg]``.  Under an active exec context the
+    row compiles fan out over the pool and memoise in the on-disk cache.
+    """
+    procs = tuple(procs) if procs is not None else (arch.default_procs,)
+    if any(p < 2 for p in procs):
+        raise ValueError("need at least 2 processes per row")
+    eta_max = int(eta_max) if eta_max is not None else arch.max_msg
+    collectives = tuple(collectives)
+    spec = TableSpec(
+        arch=arch,
+        collectives=collectives,
+        procs=procs,
+        eta_max=eta_max,
+        verify_probes=verify_probes,
+    )
+    keys = [(coll, p) for coll in collectives for p in procs]
+    row_choices = compile_rows(arch, keys, eta_max, verify_probes, stats=stats)
+    return assemble_table(arch.name, table_key(spec), collectives, row_choices)

@@ -1,0 +1,212 @@
+"""Query engine: compiled-table lookups at memory speed.
+
+Three read paths over one immutable :class:`DecisionTable`:
+
+* **scalar** — ``lookup(collective, eta, p)``: an LRU front
+  (``functools.lru_cache``) over a closure that bisects the row's
+  breakpoints.  Misses cost one dict probe plus one O(log breakpoints)
+  bisect; repeats are a cache hit.
+* **batch** — ``lookup_batch(coll_ids, etas, procs)``: vectorised with
+  numpy when available — row keys are packed into int64s
+  (``collective_id << 32 | p``) and each distinct row answers all of its
+  queries with one ``searchsorted``.  Without numpy the same API runs a
+  scalar bisect loop; results are identical.
+* **swap** — ``swap(new_table)``: the refit path hands over a whole new
+  table.  All reader state (front, batch index, decision pool) is built
+  against the incoming table first and then published by plain attribute
+  assignment, so a concurrent reader sees either the old surface or the
+  new one, never a mix — and the retired front's hit/miss counters are
+  folded into the engine totals rather than lost.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Sequence, Union
+
+from repro.serve.tables import Decision, DecisionTable
+
+try:  # numpy accelerates the batch path; everything works without it
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via force_scalar tests
+    _np = None
+
+__all__ = ["QueryEngine", "DEFAULT_FRONT_SIZE", "HAVE_NUMPY"]
+
+DEFAULT_FRONT_SIZE = 4096
+
+HAVE_NUMPY = _np is not None
+
+
+def _pack(coll_id: int, p: int) -> int:
+    return (int(coll_id) << 32) | int(p)
+
+
+class _NumpyBatch:
+    """Per-row ndarray index: one searchsorted per distinct row key."""
+
+    def __init__(self, table: DecisionTable):
+        self.table = table
+        self._rows: dict = {}
+        for (coll, p), row in table.rows.items():
+            self._rows[_pack(table.collective_id(coll), p)] = (
+                _np.asarray(row.breaks, dtype=_np.int64),
+                _np.asarray(row.dec_ids, dtype=_np.int64),
+                row.eta_max,
+            )
+
+    def query(self, coll_ids, etas, procs):
+        coll_ids = _np.ascontiguousarray(coll_ids, dtype=_np.int64)
+        etas = _np.ascontiguousarray(etas, dtype=_np.int64)
+        procs = _np.ascontiguousarray(procs, dtype=_np.int64)
+        if not (coll_ids.shape == etas.shape == procs.shape):
+            raise ValueError("coll_ids, etas, procs must have equal shapes")
+        keys = (coll_ids << 32) | procs
+        out = _np.empty(etas.shape, dtype=_np.int64)
+        for k in _np.unique(keys):
+            row = self._rows.get(int(k))
+            if row is None:
+                raise KeyError(
+                    f"no compiled row for collective id {int(k) >> 32}, "
+                    f"p={int(k) & 0xFFFFFFFF}"
+                )
+            breaks, dec_ids, eta_max = row
+            mask = keys == k
+            sub = etas[mask]
+            if int(sub.min()) < 1 or int(sub.max()) > eta_max:
+                raise ValueError(
+                    f"batch contains eta outside the compiled domain "
+                    f"[1, {eta_max}]"
+                )
+            out[mask] = dec_ids[_np.searchsorted(breaks, sub, side="right") - 1]
+        return out
+
+
+class _ScalarBatch:
+    """Bisect-loop batch fallback; same results, no numpy required."""
+
+    def __init__(self, table: DecisionTable):
+        self.table = table
+        self._rows: dict = {}
+        for (coll, p), row in table.rows.items():
+            self._rows[_pack(table.collective_id(coll), p)] = row
+
+    def query(self, coll_ids, etas, procs):
+        if not (len(coll_ids) == len(etas) == len(procs)):
+            raise ValueError("coll_ids, etas, procs must have equal lengths")
+        out: List[int] = []
+        rows = self._rows
+        for cid, eta, p in zip(coll_ids, etas, procs):
+            key = _pack(cid, p)
+            row = rows.get(key)
+            if row is None:
+                raise KeyError(f"no compiled row for collective id {cid}, p={p}")
+            out.append(row.dec_ids[row.segment_of(int(eta))])
+        return out
+
+
+class QueryEngine:
+    """Serve compiled decisions; swap tables atomically under readers.
+
+    Every reader entry point captures the state it needs in one attribute
+    read, and every bound structure references exactly one table — so a
+    lookup racing a :meth:`swap` answers consistently from whichever
+    table it caught.
+    """
+
+    def __init__(
+        self,
+        table: DecisionTable,
+        front_size: int = DEFAULT_FRONT_SIZE,
+        force_scalar_batch: bool = False,
+    ):
+        self.front_size = front_size
+        self._force_scalar = force_scalar_batch or _np is None
+        self._retired_hits = 0
+        self._retired_misses = 0
+        self.swaps = 0
+        self._bind(table)
+
+    def _bind(self, table: DecisionTable) -> None:
+        decisions = table.decisions
+        rows = table.rows
+
+        def checked(collective: str, eta: int, p: int) -> Decision:
+            row = rows.get((collective, p))
+            if row is None:
+                table.row(collective, p)
+            return decisions[row.dec_ids[row.segment_of(eta)]]
+
+        front = lru_cache(maxsize=self.front_size)(checked)
+        batch = _ScalarBatch(table) if self._force_scalar else _NumpyBatch(table)
+        # Publish: plain attribute stores, each independently consistent.
+        self._table = table
+        self._front = front
+        self._batch = batch
+
+    # -- read paths ---------------------------------------------------------
+
+    @property
+    def table(self) -> DecisionTable:
+        return self._table
+
+    def collective_id(self, collective: str) -> int:
+        return self._table.collective_id(collective)
+
+    def lookup(self, collective: str, eta: int, p: int) -> Decision:
+        """Scalar selection: LRU front, then bisect.  Domain-checked."""
+        return self._front(collective, eta, p)
+
+    def lookup_batch(
+        self,
+        coll_ids: Sequence[int],
+        etas: Sequence[int],
+        procs: Sequence[int],
+        as_decisions: bool = False,
+    ) -> Union[Sequence[int], List[Decision]]:
+        """Vectorised selection over parallel arrays.
+
+        Returns decision ids into :attr:`table`'s pool (an int64 ndarray
+        with numpy, a list without), or resolved :class:`Decision` objects
+        with ``as_decisions=True``.  Ids are resolved against the same
+        table that answered the batch, even if a swap lands mid-call.
+        """
+        batch = self._batch
+        ids = batch.query(coll_ids, etas, procs)
+        if as_decisions:
+            pool = batch.table.decisions
+            return [pool[int(i)] for i in ids]
+        return ids
+
+    # -- mutation -----------------------------------------------------------
+
+    def swap(self, new_table: DecisionTable) -> None:
+        """Atomically publish ``new_table`` to all read paths."""
+        old_front = self._front
+        self._bind(new_table)
+        info = old_front.cache_info()
+        self._retired_hits += info.hits
+        self._retired_misses += info.misses
+        self.swaps += 1
+
+    # -- introspection ------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Engine counters: front hit/miss totals survive table swaps."""
+        info = self._front.cache_info()
+        table = self._table
+        return {
+            "table_key": table.key,
+            "arch": table.arch_name,
+            "rows": len(table.rows),
+            "breakpoints": table.breakpoints_total,
+            "decisions": len(table.decisions),
+            "swaps": self.swaps,
+            "batch_backend": type(self._batch).__name__.lstrip("_").lower(),
+            "front": {
+                "hits": self._retired_hits + info.hits,
+                "misses": self._retired_misses + info.misses,
+                "size": info.currsize,
+                "maxsize": info.maxsize,
+            },
+        }

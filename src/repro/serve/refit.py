@@ -1,0 +1,201 @@
+"""Streaming γ(c) refit: new contention samples → selective recompile → swap.
+
+The serve layer's tables are compiled against one fitted architecture.
+When fresh γ(c) contention samples arrive (new microbench runs, online
+telemetry), :class:`GammaRefitter`:
+
+1. pools them into a :class:`~repro.core.fitting.StreamingGammaFit` and
+   re-runs the cached NLLS fit over the full sample history;
+2. applies the fit to the architecture
+   (:func:`~repro.core.tuning.apply_gamma`) and builds a fresh tuner;
+3. **probes** every compiled row at its sensitive sizes — each
+   breakpoint, the eta just below it, segment endpoints and midpoints,
+   plus string-seeded random sizes — comparing the new tuner's choice
+   against the row's compiled decision;
+4. recompiles *only* the rows where any probe flipped (through the sweep
+   farm, so unchanged-fit recompiles are cache reads), reuses the
+   untouched rows verbatim, and assembles a new table under the new
+   architecture's content key;
+5. hands the table to :meth:`QueryEngine.swap` — readers never see a torn
+   surface, and a reader mid-batch keeps the table it started with.
+
+The probe step is what makes refits cheap: a small γ perturbation moves a
+few breakpoints in a few rows, and only those rows pay a recompile.  The
+probe set concentrates exactly where winners change (breakpoints and
+their neighbours), so a flip that matters is caught there; the compiled
+rows that *are* rebuilt go through the same verified compiler as the
+original table.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.fitting import GammaFit, GammaSample, StreamingGammaFit
+from repro.core.tuning import Tuner, apply_gamma
+from repro.machine.arch import Architecture
+from repro.serve.compiler import (
+    CompileStats,
+    RowChoices,
+    _ROW_TUNER_MEMO,
+    assemble_table,
+    compile_rows,
+)
+from repro.serve.query import QueryEngine
+from repro.serve.tables import DecisionTable, Row, TableSpec, table_key
+
+__all__ = ["RefitReport", "GammaRefitter"]
+
+
+@dataclass
+class RefitReport:
+    """What one ``observe()`` round did."""
+
+    refits: int
+    gamma: GammaFit
+    rows_checked: int = 0
+    rows_recompiled: int = 0
+    recompiled: Tuple[Tuple[str, int], ...] = ()
+    probes: int = 0
+    swapped: bool = False
+    table_key_before: str = ""
+    table_key_after: str = ""
+    compile_stats: Optional[CompileStats] = None
+
+    def describe(self) -> str:
+        return (
+            f"refit #{self.refits}: {self.rows_recompiled}/{self.rows_checked} "
+            f"rows recompiled ({self.probes} probes)"
+            + ("" if self.swapped else ", no swap")
+        )
+
+
+def _row_sentinels(row: Row, probes: int, seed: str) -> List[int]:
+    """The etas where this row's compiled surface is most likely to move:
+    every breakpoint, the last eta of the regime before it, each segment's
+    endpoints and midpoint, plus deterministic random interior sizes."""
+    etas = set()
+    n = len(row.breaks)
+    for i, b in enumerate(row.breaks):
+        etas.add(b)
+        if b > 1:
+            etas.add(b - 1)
+        end = (row.breaks[i + 1] - 1) if i + 1 < n else row.eta_max
+        etas.add(end)
+        etas.add((b + end) // 2)
+    rng = random.Random(seed)
+    for _ in range(probes * n):
+        etas.add(rng.randint(1, row.eta_max))
+    return sorted(etas)
+
+
+def _row_to_choices(table: DecisionTable, row: Row) -> RowChoices:
+    """Inflate a compiled row back to its pre-interning form so unchanged
+    rows can be re-assembled next to freshly compiled ones."""
+    return RowChoices(
+        collective=row.collective,
+        p=row.p,
+        eta_max=row.eta_max,
+        breaks=row.breaks,
+        decisions=tuple(table.decisions[i] for i in row.dec_ids),
+    )
+
+
+class GammaRefitter:
+    """Owns the streaming fit and the engine's table lifecycle."""
+
+    def __init__(
+        self,
+        engine: QueryEngine,
+        arch: Architecture,
+        stream: Optional[StreamingGammaFit] = None,
+        verify_probes: int = 3,
+        sentinel_probes: int = 2,
+    ):
+        self.engine = engine
+        self.arch = arch
+        self.stream = stream if stream is not None else StreamingGammaFit()
+        self.verify_probes = verify_probes
+        self.sentinel_probes = sentinel_probes
+        self.reports: List[RefitReport] = []
+
+    def observe(self, samples: Iterable[GammaSample]) -> RefitReport:
+        """Fold new γ(c) samples in; refit, selectively recompile, swap."""
+        previous = self.stream.fit
+        fit = self.stream.observe(list(samples))
+        report = RefitReport(
+            refits=self.stream.refits,
+            gamma=fit,
+            table_key_before=self.engine.table.key,
+        )
+        if previous is not None and fit == previous:
+            # Identical fit → identical architecture → identical table.
+            report.table_key_after = report.table_key_before
+            self.reports.append(report)
+            return report
+
+        new_arch = apply_gamma(self.arch, fit)
+        tuner = Tuner(new_arch, choose_cache_size=_ROW_TUNER_MEMO)
+        table = self.engine.table
+
+        changed: List[Tuple[str, int]] = []
+        probes = 0
+        for rk in sorted(table.rows):
+            row = table.rows[rk]
+            seed = (
+                f"serve-refit:{new_arch.name}:{row.collective}:{row.p}:"
+                f"{row.eta_max}:{self.stream.refits}"
+            )
+            for eta in _row_sentinels(row, self.sentinel_probes, seed):
+                probes += 1
+                choice = tuner.choose(row.collective, eta, row.p)
+                compiled = table.decisions[row.dec_ids[row.segment_of(eta)]]
+                if (choice.algorithm, choice.params) != (
+                    compiled.algorithm,
+                    compiled.params,
+                ):
+                    changed.append(rk)
+                    break
+        report.rows_checked = len(table.rows)
+        report.probes = probes
+        report.recompiled = tuple(changed)
+        report.rows_recompiled = len(changed)
+
+        stats = CompileStats()
+        row_choices: Dict[Tuple[str, int], RowChoices] = {
+            rk: _row_to_choices(table, row)
+            for rk, row in table.rows.items()
+            if rk not in set(changed)
+        }
+        if changed:
+            by_eta_max: Dict[int, List[Tuple[str, int]]] = {}
+            for rk in changed:
+                by_eta_max.setdefault(table.rows[rk].eta_max, []).append(rk)
+            for eta_max, keys in sorted(by_eta_max.items()):
+                row_choices.update(
+                    compile_rows(
+                        new_arch, keys, eta_max, self.verify_probes, stats=stats
+                    )
+                )
+        report.compile_stats = stats
+
+        procs = tuple(sorted({p for _, p in table.rows}))
+        eta_max = max(r.eta_max for r in table.rows.values())
+        spec = TableSpec(
+            arch=new_arch,
+            collectives=table.collectives,
+            procs=procs,
+            eta_max=eta_max,
+            verify_probes=self.verify_probes,
+        )
+        new_table = assemble_table(
+            new_arch.name, table_key(spec), table.collectives, row_choices
+        )
+        self.engine.swap(new_table)
+        self.arch = new_arch
+        report.swapped = True
+        report.table_key_after = new_table.key
+        self.reports.append(report)
+        return report

@@ -1,0 +1,237 @@
+"""Compiled decision tables: the tuner's choose() surface as flat data.
+
+The paper's end product is a *decision*: which algorithm/mechanism runs a
+given (architecture, collective, message size, process count)?  The live
+:class:`~repro.core.tuning.Tuner` answers by pricing every candidate per
+query; this module is the compiled form of the same function — per
+(collective, p) row, a sorted tuple of message-size breakpoints and the
+winning decision for each inter-breakpoint segment.  The hybrid MPI+MPI
+and PiP/XPMEM lines both observe that mechanism selection is breakpoint-
+shaped along the size axis, which is exactly what makes this compilation
+lossless: within a segment the winner is constant, so a query is one
+bisect, not a candidate enumeration.
+
+Tables are immutable value objects.  The serve query engine binds to a
+table and answers lookups from it; the refit path builds a *new* table
+and swaps it in whole, so a reader can never observe a torn row.
+
+Artifacts are content-addressed exactly like the exec cache: the key is
+the SHA-256 fingerprint of the full :class:`TableSpec` (architecture
+parameters included) under the exec-cache code-version salt, and
+:func:`store_table` / :func:`load_table` read and write entries through a
+:class:`~repro.exec.cache.ResultCache` — same envelope, same CRC check,
+same quarantine behaviour.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+from repro.exec.cache import ResultCache
+from repro.machine.arch import Architecture
+
+__all__ = [
+    "TABLE_VERSION",
+    "Decision",
+    "Row",
+    "TableSpec",
+    "DecisionTable",
+    "table_key",
+    "store_table",
+    "load_table",
+]
+
+#: Serve-layer format salt, folded into every table key next to the exec
+#: cache's :data:`~repro.exec.cache.CACHE_VERSION`.  Bump when the table
+#: layout or the compiler's equality contract changes.
+TABLE_VERSION = "serve-table-v1"
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One compiled pick: algorithm plus its tuning parameters.
+
+    Unlike :class:`~repro.core.tuning.Choice` this carries no predicted
+    latency — a segment spans many message sizes, so the prediction is a
+    function of the query, not of the segment.  Choice-identity between
+    the compiled table and the live tuner means (algorithm, params)
+    equality.
+    """
+
+    algorithm: str
+    params: Tuple[Tuple[str, Any], ...]  # sorted (key, value) pairs
+
+    @property
+    def params_dict(self) -> dict:
+        return dict(self.params)
+
+    def describe(self) -> str:
+        extra = ", ".join(f"{k}={v}" for k, v in self.params)
+        return f"{self.algorithm}({extra})" if extra else self.algorithm
+
+
+@dataclass(frozen=True)
+class Row:
+    """The compiled decision function of one (collective, p) pair.
+
+    ``breaks`` is ascending with ``breaks[0] == 1``; segment ``i`` rules
+    every eta in ``[breaks[i], breaks[i+1] - 1]`` (the last segment runs
+    to ``eta_max``), and ``dec_ids[i]`` indexes the owning table's
+    decision pool.  A lookup is ``bisect_right(breaks, eta) - 1``:
+    O(log breakpoints), no model evaluation.
+    """
+
+    collective: str
+    p: int
+    eta_max: int
+    breaks: Tuple[int, ...]
+    dec_ids: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.breaks or self.breaks[0] != 1:
+            raise ValueError("row breakpoints must start at eta=1")
+        if len(self.breaks) != len(self.dec_ids):
+            raise ValueError("one decision per segment")
+        if any(b >= c for b, c in zip(self.breaks, self.breaks[1:])):
+            raise ValueError("breakpoints must be strictly ascending")
+        if self.breaks[-1] > self.eta_max:
+            raise ValueError("breakpoint beyond the compiled domain")
+
+    def segment_of(self, eta: int) -> int:
+        if not 1 <= eta <= self.eta_max:
+            raise ValueError(
+                f"eta={eta} outside the compiled domain [1, {self.eta_max}] "
+                f"for {self.collective} p={self.p}"
+            )
+        return bisect_right(self.breaks, eta) - 1
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """Everything that determines a compiled table's content.
+
+    The architecture travels whole (params and topology included), so a
+    gamma refit — which perturbs ``arch.params`` — changes the
+    fingerprint and can never collide with tables compiled from the old
+    fit.  ``verify_probes`` is part of the key because it changes how
+    hard the compiler audits its own breakpoints.
+    """
+
+    arch: Architecture
+    collectives: Tuple[str, ...]
+    procs: Tuple[int, ...]
+    eta_max: int
+    verify_probes: int = 3
+    version: str = TABLE_VERSION
+
+
+@dataclass(frozen=True)
+class DecisionTable:
+    """A full compiled decision surface for one architecture.
+
+    ``collectives`` fixes the collective-id numbering the batch query API
+    uses; ``decisions`` is the interned decision pool shared by all rows.
+    """
+
+    arch_name: str
+    key: str
+    collectives: Tuple[str, ...]
+    decisions: Tuple[Decision, ...]
+    rows: dict = field(default_factory=dict)  # (collective, p) -> Row
+
+    def row(self, collective: str, p: int) -> Row:
+        try:
+            return self.rows[(collective, p)]
+        except KeyError:
+            raise KeyError(
+                f"no compiled row for ({collective!r}, p={p}); "
+                f"compiled rows: {sorted(self.rows)}"
+            ) from None
+
+    def lookup(self, collective: str, eta: int, p: int) -> Decision:
+        """Reference scalar lookup (the query engine adds the LRU front)."""
+        row = self.row(collective, p)
+        return self.decisions[row.dec_ids[row.segment_of(eta)]]
+
+    def collective_id(self, collective: str) -> int:
+        try:
+            return self.collectives.index(collective)
+        except ValueError:
+            raise KeyError(f"collective {collective!r} not in table") from None
+
+    @property
+    def breakpoints_total(self) -> int:
+        return sum(len(r.breaks) for r in self.rows.values())
+
+    def to_json(self) -> dict:
+        """Compact JSON rendering (CLI export / quickstart inspection)."""
+        return {
+            "schema": TABLE_VERSION,
+            "arch": self.arch_name,
+            "key": self.key,
+            "collectives": list(self.collectives),
+            "decisions": [
+                {"algorithm": d.algorithm, "params": [list(kv) for kv in d.params]}
+                for d in self.decisions
+            ],
+            "rows": [
+                {
+                    "collective": r.collective,
+                    "p": r.p,
+                    "eta_max": r.eta_max,
+                    "breaks": list(r.breaks),
+                    "dec_ids": list(r.dec_ids),
+                }
+                for r in sorted(self.rows.values(), key=lambda r: (r.collective, r.p))
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "DecisionTable":
+        if payload.get("schema") != TABLE_VERSION:
+            raise ValueError(
+                f"table schema {payload.get('schema')!r} != {TABLE_VERSION!r}"
+            )
+        decisions = tuple(
+            Decision(d["algorithm"], tuple((k, v) for k, v in d["params"]))
+            for d in payload["decisions"]
+        )
+        rows = {}
+        for r in payload["rows"]:
+            row = Row(
+                collective=r["collective"],
+                p=int(r["p"]),
+                eta_max=int(r["eta_max"]),
+                breaks=tuple(int(b) for b in r["breaks"]),
+                dec_ids=tuple(int(i) for i in r["dec_ids"]),
+            )
+            rows[(row.collective, row.p)] = row
+        return cls(
+            arch_name=payload["arch"],
+            key=payload["key"],
+            collectives=tuple(payload["collectives"]),
+            decisions=decisions,
+            rows=rows,
+        )
+
+
+def table_key(spec: TableSpec, cache: Optional[ResultCache] = None) -> str:
+    """Content-addressed key of a compiled table, exec-cache style."""
+    cache = cache if cache is not None else ResultCache()
+    return cache.key_for("serve.table", spec)
+
+
+def store_table(table: DecisionTable, cache: ResultCache) -> str:
+    """Persist the table as one exec-cache entry; returns its key."""
+    cache.put(table.key, table)
+    return table.key
+
+
+def load_table(spec: TableSpec, cache: ResultCache) -> Optional[DecisionTable]:
+    """The previously stored table for ``spec``, or ``None`` on a miss
+    (including stale-salt or corrupt entries — the cache quarantines those
+    exactly as it does sweep points)."""
+    hit, value = cache.get(table_key(spec, cache))
+    return value if hit else None

@@ -1,0 +1,432 @@
+"""Serve-layer battery: compiled tables must equal the live tuner.
+
+The contract under test is exactness — every lookup a
+:class:`~repro.serve.query.QueryEngine` answers, scalar or batched, at a
+breakpoint or anywhere between, must name the same (algorithm, params)
+the live :class:`~repro.core.tuning.Tuner` would pick — plus the serving
+invariants around it: artifact round-trips, bounded tuner memo, refits
+that recompile only perturbed rows, and table swaps that stay atomic
+under concurrent readers.
+"""
+
+import json
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fitting import GammaSample, StreamingGammaFit
+from repro.core.tuning import Tuner, apply_gamma
+from repro.exec.cache import ResultCache
+from repro.exec.context import ExecContext, use_context
+from repro.bench.report import sweep_summary
+from repro.machine import get_arch
+from repro.serve import (
+    DEFAULT_COLLECTIVES,
+    CompileStats,
+    Decision,
+    DecisionTable,
+    GammaRefitter,
+    QueryEngine,
+    Row,
+    TableSpec,
+    compile_table,
+    load_table,
+    store_table,
+)
+from repro.serve.query import HAVE_NUMPY
+
+ETA_MAX = 1 << 18  # small enough to compile in ~a second, page-rich enough
+                   # to produce multi-breakpoint rows
+
+
+@pytest.fixture(scope="module")
+def arch():
+    return get_arch("knl")
+
+
+@pytest.fixture(scope="module")
+def table(arch):
+    return compile_table(arch, eta_max=ETA_MAX)
+
+
+@pytest.fixture(scope="module")
+def tuner(arch):
+    return Tuner(arch, choose_cache_size=1 << 15)
+
+
+@pytest.fixture(scope="module")
+def engine(table):
+    return QueryEngine(table)
+
+
+def _live(tuner, collective, eta, p):
+    c = tuner.choose(collective, eta, p)
+    return (c.algorithm, c.params)
+
+
+def _compiled(engine, collective, eta, p):
+    d = engine.lookup(collective, eta, p)
+    return (d.algorithm, d.params)
+
+
+class TestDifferential:
+    def test_rows_cover_every_collective(self, table, arch):
+        assert set(table.collectives) == set(DEFAULT_COLLECTIVES)
+        assert set(table.rows) == {
+            (c, arch.default_procs) for c in DEFAULT_COLLECTIVES
+        }
+        assert any(len(r.breaks) > 1 for r in table.rows.values()), (
+            "axis too small: every row degenerated to one regime, the "
+            "breakpoint machinery is untested"
+        )
+
+    def test_exact_at_every_breakpoint_and_neighbours(
+        self, table, engine, tuner
+    ):
+        """eta exactly at, one below, and one above every compiled break."""
+        for (coll, p), row in table.rows.items():
+            for b in row.breaks:
+                for eta in (b - 1, b, b + 1):
+                    if not 1 <= eta <= row.eta_max:
+                        continue
+                    assert _compiled(engine, coll, eta, p) == _live(
+                        tuner, coll, eta, p
+                    ), f"{coll} p={p} eta={eta} (breakpoint {b})"
+
+    def test_exact_at_domain_endpoints(self, table, engine, tuner):
+        for (coll, p), row in table.rows.items():
+            for eta in (1, 2, row.eta_max - 1, row.eta_max):
+                assert _compiled(engine, coll, eta, p) == _live(
+                    tuner, coll, eta, p
+                )
+
+    @settings(max_examples=120, deadline=None)
+    @given(data=st.data())
+    def test_exact_on_random_queries(self, data, table, engine, tuner):
+        coll = data.draw(st.sampled_from(DEFAULT_COLLECTIVES))
+        eta = data.draw(st.integers(min_value=1, max_value=ETA_MAX))
+        p = next(p for c, p in table.rows if c == coll)
+        assert _compiled(engine, coll, eta, p) == _live(tuner, coll, eta, p)
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_batch_equals_scalar_on_random_arrays(self, data, table, engine):
+        n = data.draw(st.integers(min_value=1, max_value=64))
+        picks = data.draw(
+            st.lists(
+                st.tuples(
+                    st.sampled_from(DEFAULT_COLLECTIVES),
+                    st.integers(min_value=1, max_value=ETA_MAX),
+                ),
+                min_size=n,
+                max_size=n,
+            )
+        )
+        p = next(iter(table.rows))[1]
+        coll_ids = [engine.collective_id(c) for c, _ in picks]
+        etas = [e for _, e in picks]
+        procs = [p] * n
+        decs = engine.lookup_batch(coll_ids, etas, procs, as_decisions=True)
+        for (coll, eta), d in zip(picks, decs):
+            assert engine.lookup(coll, eta, p) == d
+
+
+class TestBatch:
+    def test_numpy_and_fallback_agree(self, table, engine):
+        p = next(iter(table.rows))[1]
+        colls = table.collectives
+        coll_ids = [engine.collective_id(colls[i % len(colls)]) for i in range(500)]
+        etas = [(37 * i * i + 11) % ETA_MAX + 1 for i in range(500)]
+        procs = [p] * 500
+        fallback = QueryEngine(table, force_scalar_batch=True)
+        a = [int(i) for i in engine.lookup_batch(coll_ids, etas, procs)]
+        b = [int(i) for i in fallback.lookup_batch(coll_ids, etas, procs)]
+        assert a == b
+        if HAVE_NUMPY:
+            assert engine.stats()["batch_backend"] == "numpybatch"
+        assert fallback.stats()["batch_backend"] == "scalarbatch"
+
+    def test_batch_rejects_out_of_domain_and_unknown_rows(self, table, engine):
+        p = next(iter(table.rows))[1]
+        cid = engine.collective_id(table.collectives[0])
+        with pytest.raises(ValueError):
+            engine.lookup_batch([cid], [0], [p])
+        with pytest.raises(ValueError):
+            engine.lookup_batch([cid], [ETA_MAX + 1], [p])
+        with pytest.raises(KeyError):
+            engine.lookup_batch([cid], [4096], [p + 1])
+        with pytest.raises(ValueError):
+            engine.lookup_batch([cid, cid], [1], [p])
+
+    def test_scalar_rejects_out_of_domain(self, table, engine):
+        coll, p = next(iter(table.rows))
+        with pytest.raises(ValueError):
+            engine.lookup(coll, 0, p)
+        with pytest.raises(ValueError):
+            engine.lookup(coll, ETA_MAX + 1, p)
+        with pytest.raises(KeyError):
+            engine.lookup("notacollective", 1, p)
+
+
+class TestRowValidation:
+    def test_breaks_must_start_at_one(self):
+        with pytest.raises(ValueError):
+            Row("bcast", 8, 100, breaks=(2,), dec_ids=(0,))
+
+    def test_breaks_strictly_ascending(self):
+        with pytest.raises(ValueError):
+            Row("bcast", 8, 100, breaks=(1, 50, 50), dec_ids=(0, 1, 0))
+
+    def test_one_decision_per_segment(self):
+        with pytest.raises(ValueError):
+            Row("bcast", 8, 100, breaks=(1, 50), dec_ids=(0,))
+
+    def test_breaks_inside_domain(self):
+        with pytest.raises(ValueError):
+            Row("bcast", 8, 100, breaks=(1, 101), dec_ids=(0, 1))
+
+
+class TestArtifacts:
+    def test_json_roundtrip(self, table):
+        clone = DecisionTable.from_json(json.loads(json.dumps(table.to_json())))
+        assert clone == table
+
+    def test_cache_roundtrip_and_spec_sensitivity(self, arch, table, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = TableSpec(
+            arch=arch,
+            collectives=table.collectives,
+            procs=(arch.default_procs,),
+            eta_max=ETA_MAX,
+        )
+        assert table.key == store_table(table, cache)
+        assert load_table(spec, cache) == table
+        perturbed = TableSpec(
+            arch=arch,
+            collectives=table.collectives,
+            procs=(arch.default_procs,),
+            eta_max=ETA_MAX,
+            verify_probes=5,
+        )
+        assert load_table(perturbed, cache) is None
+        refitted = TableSpec(
+            arch=apply_gamma(arch, StreamingGammaFit().observe(
+                [GammaSample(16, c, arch.params.gamma(c) * 1.3) for c in (1, 2, 4, 8)]
+            )),
+            collectives=table.collectives,
+            procs=(arch.default_procs,),
+            eta_max=ETA_MAX,
+        )
+        assert load_table(refitted, cache) is None
+
+    def test_compile_is_a_cache_read_the_second_time(self, arch, tmp_path):
+        first = CompileStats()
+        with use_context(ExecContext(cache=tmp_path)) as ctx:
+            t1 = compile_table(
+                arch, collectives=("alltoall",), eta_max=1 << 14, stats=first
+            )
+            assert ctx.stats.by_kind["serve.compile_row"] == [1, 1, 0]
+        assert (first.cache_hits, first.cache_misses) == (0, 1)
+        assert first.probes > 0
+        second = CompileStats()
+        with use_context(ExecContext(cache=tmp_path)) as ctx:
+            t2 = compile_table(
+                arch, collectives=("alltoall",), eta_max=1 << 14, stats=second
+            )
+            assert ctx.stats.by_kind["serve.compile_row"] == [1, 0, 1]
+        assert (second.cache_hits, second.cache_misses) == (1, 0)
+        # cached rows carry the probe counters of the compile that made
+        # them — identical rows, identical embodied cost, zero new misses
+        assert second.probes == first.probes
+        assert t1 == t2
+
+    def test_sweep_summary_breaks_out_compile_kind(self, arch, tmp_path):
+        """The report line must split serve row compiles from other sweep
+        traffic, so a compile-cache regression can't hide in aggregates."""
+        with use_context(ExecContext(cache=tmp_path)) as ctx:
+            compile_table(arch, collectives=("bcast",), eta_max=1 << 14)
+            ctx.stats.record_kind("collective", 10, 2, 8)
+            line = sweep_summary(ctx.stats)
+        assert "serve.compile_row 1 run/0 hit" in line
+        assert "collective 2 run/8 hit" in line
+
+
+class TestTunerMemo:
+    def test_identity_caching_and_counters(self, arch):
+        t = Tuner(arch)
+        a = t.choose("bcast", 4096, 8)
+        b = t.choose("bcast", 4096, 8)
+        assert a is b
+        stats = t.choose_cache_stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["maxsize"] == Tuner.CHOOSE_CACHE_SIZE
+
+    def test_memo_is_bounded(self, arch):
+        t = Tuner(arch, choose_cache_size=4)
+        for eta in (1, 2, 3, 4, 5, 6):
+            t.choose("bcast", eta, 8)
+        stats = t.choose_cache_stats()
+        assert stats["maxsize"] == 4
+        assert stats["size"] <= 4
+        assert stats["misses"] == 6
+        # eta=1 was evicted by the later four: re-choosing misses again
+        t.choose("bcast", 1, 8)
+        assert t.choose_cache_stats()["misses"] == 7
+
+
+class TestRefit:
+    def test_identical_fit_skips_recompile_and_swap(self, arch, table):
+        engine = QueryEngine(table)
+        refitter = GammaRefitter(engine, arch)
+        samples = [
+            GammaSample(16, c, arch.params.gamma(c)) for c in range(1, 33)
+        ]
+        refitter.observe(samples)
+        first_key = engine.table.key
+        rep = refitter.observe([])  # same pooled samples -> same fit
+        assert rep.swapped is False
+        assert rep.rows_recompiled == 0
+        assert engine.table.key == first_key
+
+    def test_only_perturbed_rows_recompile(self, arch, table, monkeypatch):
+        import repro.serve.refit as refit_mod
+
+        engine = QueryEngine(table)
+        refitter = GammaRefitter(engine, arch)
+        recompiled_keys = []
+        real = refit_mod.compile_rows
+
+        def spy(a, keys, eta_max, verify_probes, stats=None):
+            recompiled_keys.extend(keys)
+            return real(a, keys, eta_max, verify_probes, stats=stats)
+
+        monkeypatch.setattr(refit_mod, "compile_rows", spy)
+        # Steepen gamma hard: contention-sensitive regimes flip, the rest
+        # of the surface stays put.
+        samples = [
+            GammaSample(16, c, arch.params.gamma(c) * (1.0 + 2.0 * c / 64))
+            for c in range(1, 65)
+        ]
+        rep = refitter.observe(samples)
+        assert rep.swapped is True
+        assert 0 < rep.rows_recompiled < rep.rows_checked
+        assert sorted(recompiled_keys) == sorted(rep.recompiled)
+        # untouched rows were reused verbatim
+        for rk, row in table.rows.items():
+            if rk not in rep.recompiled:
+                new_row = engine.table.rows[rk]
+                assert new_row.breaks == row.breaks
+        # the swapped table answers exactly like a live tuner on the
+        # refitted architecture
+        live = Tuner(refitter.arch)
+        for (coll, p), row in engine.table.rows.items():
+            for b in row.breaks:
+                for eta in (b - 1, b, b + 1):
+                    if 1 <= eta <= row.eta_max:
+                        assert _compiled(engine, coll, eta, p) == _live(
+                            live, coll, eta, p
+                        )
+
+    def test_swap_is_atomic_under_concurrent_readers(self):
+        d_a0 = Decision("alpha", ())
+        d_a1 = Decision("alpha", (("k", 4),))
+        d_b = Decision("beta", ())
+        row_a = Row("bcast", 8, 1000, breaks=(1, 100), dec_ids=(0, 1))
+        row_b = Row("bcast", 8, 1000, breaks=(1,), dec_ids=(0,))
+        table_a = DecisionTable(
+            "x", "key-a", ("bcast",), (d_a0, d_a1), {("bcast", 8): row_a}
+        )
+        table_b = DecisionTable(
+            "x", "key-b", ("bcast",), (d_b,), {("bcast", 8): row_b}
+        )
+        engine = QueryEngine(table_a)
+        valid_scalar = {d_a1, d_b}  # eta=500 under either table
+        errors = []
+        stop = threading.Event()
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    d = engine.lookup("bcast", 500, 8)
+                    if d not in valid_scalar:
+                        errors.append(f"scalar saw {d}")
+                    # one batch must answer from ONE table — a mixed pair
+                    # means the reader caught a torn surface mid-swap
+                    decs = engine.lookup_batch(
+                        [0, 0], [50, 500], [8, 8], as_decisions=True
+                    )
+                    if list(decs) not in ([d_a0, d_a1], [d_b, d_b]):
+                        errors.append(f"torn batch {decs}")
+            except Exception as exc:  # pragma: no cover - the failure mode
+                errors.append(repr(exc))
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for i in range(400):
+            engine.swap(table_b if i % 2 == 0 else table_a)
+        stop.set()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert engine.swaps == 400
+        stats = engine.stats()
+        # retired front counters survived every swap
+        assert stats["front"]["hits"] + stats["front"]["misses"] > 0
+
+
+class TestEngineFront:
+    def test_front_lru_counts_hits_and_survives_swap(self, table):
+        engine = QueryEngine(table, front_size=8)
+        coll, p = next(iter(table.rows))
+        for _ in range(5):
+            engine.lookup(coll, 4096, p)
+        s = engine.stats()["front"]
+        assert s["misses"] == 1
+        assert s["hits"] == 4
+        assert s["maxsize"] == 8
+        engine.swap(table)
+        s = engine.stats()["front"]
+        assert s["misses"] == 1 and s["hits"] == 4  # retired, not lost
+        engine.lookup(coll, 4096, p)
+        assert engine.stats()["front"]["misses"] == 2  # fresh front, cold
+
+
+class TestCLI:
+    def test_compile_query_and_json_export(self, tmp_path, capsys):
+        from repro.serve.__main__ import main
+
+        out = tmp_path / "table.json"
+        assert main(
+            [
+                "compile", "--arch", "knl", "--collectives", "alltoall",
+                "--eta-max", str(1 << 14), "--json", str(out),
+                "--cache-dir", str(tmp_path / "cache"),
+            ]
+        ) == 0
+        text = capsys.readouterr().out
+        assert "alltoall" in text
+        assert "serve.compile_row 1 run/0 hit" in text
+        payload = json.loads(out.read_text())
+        assert DecisionTable.from_json(payload).rows
+        # second compile is served from the artifact cache
+        assert main(
+            [
+                "compile", "--arch", "knl", "--collectives", "alltoall",
+                "--eta-max", str(1 << 14),
+                "--cache-dir", str(tmp_path / "cache"),
+            ]
+        ) == 0
+        assert "artifact cache" in capsys.readouterr().out
+        assert main(
+            [
+                "query", "--arch", "knl", "--collective", "alltoall",
+                "--eta", "4096", "--collectives", "alltoall",
+                "--eta-max", str(1 << 14),
+                "--cache-dir", str(tmp_path / "cache"),
+            ]
+        ) == 0
+        assert "alltoall" in capsys.readouterr().out
