@@ -26,6 +26,12 @@ def main(argv=None) -> int:
         from repro.bench import perfsuite
 
         return perfsuite.main(argv[1:])
+    if argv and argv[0] == "sched":
+        # Work-stealing scheduler profiler: per-worker timeline (chunks,
+        # steals, idle gaps) as JSON — see repro.bench.schedprof.
+        from repro.bench import schedprof
+
+        return schedprof.main(argv[1:])
     if argv and argv[0] == "faults":
         # Degraded-mode fault matrix: latency + fallback/retry counters
         # under injected kernel faults — see repro.bench.faultsweep.

@@ -46,12 +46,14 @@ SCHEMA = "bench-engine-v1"
 #: ``fig07``, and ``xpmem`` directly cover the convoy fast-forward and
 #: mapped-window steady-state fast paths, ``ring``/``tree``/``pairwise``
 #: plus the ``fig09``/``fig10`` walls cover the phase-shape fast-forward,
-#: and ``serve`` covers the compiled-decision-table query engine (scalar
-#: and batched selection rates) — losing one shows up as a >3x
-#: events/sec drop.
+#: ``serve`` covers the compiled-decision-table query engine (scalar
+#: and batched selection rates), and ``sched`` covers the work-stealing
+#: sweep scheduler end to end (mixed fig07+fig13 slice through
+#: ``run_specs``, cache-off and cache-warm) — losing one shows up as a
+#: >3x events/sec drop.
 GATED_SECTIONS = (
     "convoy", "fig07", "xpmem", "ring", "tree", "pairwise", "fig09", "fig10",
-    "serve",
+    "serve", "sched",
 )
 
 #: Regression factor for the gated sections.
@@ -896,6 +898,124 @@ def _run_sweep_bench(slice_def: dict, repeats: int) -> dict:
     }
 
 
+#: The scheduler bench always runs the *full* mixed slice (15 points over
+#: two architectures), smoke included: the section is gated, and shrinking
+#: the point set in smoke would move the points/sec regime away from the
+#: committed full-size baseline the 3x gate compares against.  At ~150 ms
+#: of simulation total it is CI-cheap anyway.
+SCHED_SLICE_NAMES = ("fig07_scatter_knl", "fig13_scatter_bdw")
+
+
+def _run_sched_bench(smoke: bool, repeats: int) -> dict:
+    """End-to-end work-stealing scheduler walls over the mixed slice.
+
+    Three legs, all over the same fig07+fig13 scatter mix:
+
+    - ``serial_warm`` — the pre-scheduler reference: one warm
+      :class:`~repro.core.runner.NodePool`, points run in a plain loop.
+    - ``sched`` — the same points through :func:`repro.exec.sweep.run_specs`
+      under ``ExecContext(sched="steal")``, cache off: prices chunking,
+      routing, and (on multi-CPU hosts) the sticky pool fan-out.  Chunk,
+      steal, and cost-model-error counters ride along as plain fields.
+    - ``sched_cached`` — an untimed cold pass fills a throwaway sharded
+      :class:`~repro.exec.ResultCache`, then timed warm passes reopen the
+      directory fresh: the rate prices the batched ``get_many`` read path
+      end to end (the acceptance leg — results served, not recomputed).
+
+    Every leg stores events/sec (sim events the returned results
+    represent), so the generic >3x gate covers all three; the
+    ``speedup_vs_serial_warm`` fields are reported, not gated.
+    """
+    import shutil
+    import tempfile
+
+    from repro.core.runner import NodePool, run_collective_pooled
+    from repro.exec import ExecContext, ResultCache, use_context
+    from repro.exec.sweep import run_specs
+
+    specs = [
+        s for name in SCHED_SLICE_NAMES
+        for s in _sweep_specs(SWEEP_SLICES[name])
+    ]
+    n = len(specs)
+
+    def leg(events: int, walls: list, extra: Optional[dict] = None) -> dict:
+        summary = _bestof(walls)
+        best = summary["wall_s"]
+        out = {
+            "points": n,
+            "events": events,
+            "points_per_sec": round(n / best, 2),
+            "events_per_sec": round(events / best, 1),
+            **summary,
+        }
+        if extra:
+            out.update(extra)
+        return out
+
+    events = 0
+    serial_walls = []
+    for _ in range(repeats):
+        pool = NodePool()
+        ev = 0
+        t0 = time.perf_counter()
+        for s in specs:
+            ev += run_collective_pooled(s, pool).sim_events
+        serial_walls.append(time.perf_counter() - t0)
+        events = ev
+
+    sched_walls = []
+    sched_info: dict = {}
+    for _ in range(repeats):
+        with use_context(ExecContext(workers="auto", sched="steal")) as ctx:
+            t0 = time.perf_counter()
+            run_specs(specs)
+            sched_walls.append(time.perf_counter() - t0)
+        err = ctx.stats.sched_cost_err_pct
+        sched_info = {
+            "workers": ctx.stats.workers,
+            "chunks": ctx.stats.sched_chunks,
+            "steals": ctx.stats.sched_steals,
+            "cost_err_pct": round(err, 1) if err is not None else None,
+        }
+
+    cache_dir = tempfile.mkdtemp(prefix="repro-sched-bench-")
+    try:
+        with use_context(
+            ExecContext(workers="auto", sched="steal", cache=ResultCache(cache_dir))
+        ):
+            run_specs(specs)  # cold fill, untimed
+        cached_walls = []
+        hits = 0
+        for _ in range(repeats):
+            # A fresh ResultCache handle each repeat: the timed path is the
+            # sharded batched on-disk read, not a warmed in-process object.
+            with use_context(
+                ExecContext(
+                    workers="auto", sched="steal", cache=ResultCache(cache_dir)
+                )
+            ) as ctx:
+                t0 = time.perf_counter()
+                run_specs(specs)
+                cached_walls.append(time.perf_counter() - t0)
+            hits = ctx.stats.cache_hits
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    out = {
+        "serial_warm": leg(events, serial_walls),
+        "sched": leg(events, sched_walls, sched_info),
+        "sched_cached": leg(events, cached_walls, {"cache_hits": hits}),
+    }
+    out["sched"]["speedup_vs_serial_warm"] = round(
+        min(serial_walls) / min(sched_walls), 2
+    )
+    out["sched_cached"]["speedup_vs_serial_warm"] = round(
+        min(serial_walls) / min(cached_walls), 2
+    )
+    return out
+
+
 def run_suite(smoke: bool = False, repeats: Optional[int] = None) -> dict:
     """Run every bench; returns the ``BENCH_engine.json`` payload."""
     if repeats is None:
@@ -928,6 +1048,7 @@ def run_suite(smoke: bool = False, repeats: Optional[int] = None) -> dict:
         "fig09": _run_fig_wall("fig09", smoke, repeats),
         "fig10": _run_fig_wall("fig10", smoke, repeats),
         "serve": _run_serve_bench(smoke, repeats),
+        "sched": _run_sched_bench(smoke, repeats),
         "sweep": {
             name: _run_sweep_bench(sl, repeats) for name, sl in slices.items()
         },
@@ -1225,6 +1346,17 @@ def main(argv=None) -> int:
             f"serve {key:<8} {r['queries']:>9} queries  "
             f"{r['wall_s']*1e3:8.1f} ms  {r['queries_per_sec']:>12,.0f} q/s"
         )
+    for name, r in result["sched"].items():
+        line = (
+            f"sched {name:<13} {r['points']:>3} pts  "
+            f"{r['wall_s']*1e3:8.1f} ms  {r['points_per_sec']:8.1f} pts/s  "
+            f"{r['events_per_sec']:>12,.0f} ev/s"
+        )
+        if "chunks" in r:
+            line += f"  ({r['chunks']} chunks, {r['steals']} steals)"
+        if "speedup_vs_serial_warm" in r:
+            line += f"  {r['speedup_vs_serial_warm']:.2f}x vs serial"
+        print(line)
     for name, r in result["sweep"].items():
         print(
             f"sweep {name:<20} {r['points']:>3} pts  "

@@ -52,6 +52,23 @@ def sweep_summary(stats) -> str:
             f"; {_format_count(sim_events)} sim events "
             f"in {stats.run_wall_s:.1f}s"
         )
+    sched_chunks = getattr(stats, "sched_chunks", 0)
+    if sched_chunks:
+        sched_points = getattr(stats, "sched_points", 0) or 0
+        mean = sched_points / sched_chunks
+        line += (
+            f"; sched: {sched_chunks} chunks (mean {mean:.1f} pts), "
+            f"{getattr(stats, 'sched_steals', 0)} steals"
+        )
+        err = getattr(stats, "sched_cost_err_pct", None)
+        if err is not None:
+            line += f", cost err {err:.0f}%"
+        fallbacks = getattr(stats, "sched_fallbacks", 0)
+        if fallbacks:
+            line += f", {fallbacks} fallback pts"
+    quarantined = getattr(stats, "cache_quarantined", 0)
+    if quarantined:
+        line += f"; {quarantined} quarantined"
     by_kind = getattr(stats, "by_kind", None)
     if by_kind:
         parts = [

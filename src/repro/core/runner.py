@@ -22,6 +22,7 @@ __all__ = [
     "run_collective",
     "run_collective_pooled",
     "NodePool",
+    "default_pool",
 ]
 
 
@@ -265,12 +266,30 @@ class NodePool:
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
 
+    def warm_keys(self) -> tuple:
+        """The pool keys currently held warm — ``(arch_name, procs,
+        verify, trace)`` tuples.  The sweep scheduler's sticky router
+        reads these (workers report them with every completed chunk) to
+        route a group back to the worker whose pool already holds its
+        node."""
+        return tuple(self._entries.keys())
+
     def clear(self) -> None:
         self._entries.clear()
 
 
 #: module-level pool used when callers don't manage their own
 _DEFAULT_POOL = NodePool()
+
+
+def default_pool() -> NodePool:
+    """This process's shared warm-node pool (the per-worker registry).
+
+    Each scheduler worker process has exactly one — the pool
+    :func:`run_collective_pooled` falls back to — so "the worker whose
+    NodePool holds that warm node" is a well-defined routing target.
+    """
+    return _DEFAULT_POOL
 
 
 def run_collective_pooled(

@@ -1,13 +1,29 @@
 """Persistent content-addressed cache for sweep points and NLLS fits.
 
-Entries live under one directory (``REPRO_CACHE_DIR`` or
-``~/.cache/repro-exec``), one pickle per key, written atomically.  The key
-already embeds a code-version salt (:data:`CACHE_VERSION`), and every
-entry re-states the salt it was written under plus a CRC-32 of its
+Entries live under a sharded directory tree (``REPRO_CACHE_DIR`` or
+``~/.cache/repro-exec``), one pickle per key, written atomically.  The
+shard of a key is a hex prefix of its digest (``REPRO_CACHE_SHARDS``
+selects 1 / 16 / 256 / 4096 subdirectories; 256 — two hex chars — is the
+default and matches the layout every prior version wrote), so a
+million-entry cache never funnels into one directory.  Keys are
+placement-independent: changing the shard count never invalidates an
+entry, because :meth:`ResultCache.get` transparently probes the other
+layouts on a miss and migrates a found entry into the current one with a
+single ``os.replace`` (no ``CACHE_VERSION`` bump — only placement moves).
+
+The key already embeds a code-version salt (:data:`CACHE_VERSION`), and
+every entry re-states the salt it was written under plus a CRC-32 of its
 pickled payload, so a stale, truncated, or bit-flipped entry is never
 served — :meth:`ResultCache.get` reports a miss, moves the bad file into
 a ``quarantine/`` subdirectory (preserving the evidence for debugging),
-and the caller recomputes and overwrites.
+and the caller recomputes and overwrites.  Quarantine is bounded: it
+keeps at most :data:`DEFAULT_MAX_QUARANTINE` entries (oldest evicted), so
+a recurring corruption source cannot grow the directory without limit.
+
+``get_many`` / ``put_many`` are the sweep-facing batched forms: one call
+covers a whole point list, amortising shard-directory bookkeeping (and,
+for writes, the ``mkdir`` probe per shard) across the batch instead of
+paying it per point.
 """
 
 from __future__ import annotations
@@ -17,11 +33,20 @@ import pickle
 import tempfile
 import zlib
 from pathlib import Path
-from typing import Any, Optional, Tuple
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
 
 from repro.exec.keying import digest
 
-__all__ = ["ResultCache", "CACHE_VERSION", "ENV_CACHE_DIR", "default_cache_dir"]
+__all__ = [
+    "ResultCache",
+    "CACHE_VERSION",
+    "ENV_CACHE_DIR",
+    "ENV_CACHE_SHARDS",
+    "DEFAULT_SHARDS",
+    "DEFAULT_MAX_QUARANTINE",
+    "default_cache_dir",
+    "resolve_shards",
+]
 
 #: Code-version salt baked into every key and entry.  Bump whenever the
 #: simulator, model, or fitting pipeline changes in a way that alters
@@ -32,6 +57,20 @@ __all__ = ["ResultCache", "CACHE_VERSION", "ENV_CACHE_DIR", "default_cache_dir"]
 CACHE_VERSION = "repro-exec-v3"
 
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+ENV_CACHE_SHARDS = "REPRO_CACHE_SHARDS"
+
+#: Default shard count: 256 subdirectories keyed on the first two hex
+#: chars of the digest — byte-identical to the paths all earlier versions
+#: wrote, so upgrading never triggers a migration.
+DEFAULT_SHARDS = 256
+
+#: ``quarantine/`` keeps at most this many corrupt entries as evidence;
+#: beyond it the oldest files are evicted so a recurring corruption
+#: source (bad disk, torn writer) cannot grow the directory unboundedly.
+DEFAULT_MAX_QUARANTINE = 64
+
+#: shard count -> hex-prefix length used as the subdirectory name
+_SHARD_WIDTHS = {1: 0, 16: 1, 256: 2, 4096: 3}
 
 _QUARANTINE_DIR = "quarantine"
 
@@ -41,6 +80,34 @@ def default_cache_dir() -> Path:
     if env:
         return Path(env)
     return Path.home() / ".cache" / "repro-exec"
+
+
+def resolve_shards(shards: Any = None) -> int:
+    """Explicit argument > ``REPRO_CACHE_SHARDS`` > 256.
+
+    Only powers of 16 map onto hex-prefix directories, so the legal
+    values are exactly 1, 16, 256, and 4096.
+    """
+    if shards is None:
+        raw = os.environ.get(ENV_CACHE_SHARDS, "").strip()
+        if not raw:
+            return DEFAULT_SHARDS
+        shards = raw
+    if isinstance(shards, str):
+        try:
+            shards = int(shards)
+        except ValueError:
+            raise ValueError(
+                f"invalid shard count {shards!r} (set {ENV_CACHE_SHARDS} to "
+                f"one of {sorted(_SHARD_WIDTHS)})"
+            ) from None
+    shards = int(shards)
+    if shards not in _SHARD_WIDTHS:
+        raise ValueError(
+            f"invalid shard count {shards} (hex-prefix sharding supports "
+            f"{sorted(_SHARD_WIDTHS)})"
+        )
+    return shards
 
 
 class ResultCache:
@@ -57,72 +124,216 @@ class ResultCache:
     neither be served nor crash the sweep mid-unpickle.
     """
 
-    def __init__(self, root: Optional[os.PathLike | str] = None,
-                 salt: str = CACHE_VERSION):
+    def __init__(
+        self,
+        root: Optional[os.PathLike | str] = None,
+        salt: str = CACHE_VERSION,
+        shards: Any = None,
+        max_quarantine: int = DEFAULT_MAX_QUARANTINE,
+    ):
         self.root = Path(root) if root is not None else default_cache_dir()
         self.salt = salt
+        self.shards = resolve_shards(shards)
+        self._width = _SHARD_WIDTHS[self.shards]
+        self.max_quarantine = max(int(max_quarantine), 1)
         #: entries found corrupt and moved aside since construction
         self.quarantined = 0
+        #: shard directories already mkdir'd by this instance — ``put``
+        #: pays the probe once per shard, not once per entry
+        self._dirs_made: set = set()
 
     def key_for(self, kind: str, payload: Any) -> str:
         return digest(kind, payload, self.salt)
 
-    def path_for(self, key: str) -> Path:
-        return self.root / key[:2] / f"{key}.pkl"
+    def _path_at(self, key: str, width: int) -> Path:
+        if width:
+            return self.root / key[:width] / f"{key}.pkl"
+        return self.root / f"{key}.pkl"
 
-    def get(self, key: str) -> Tuple[bool, Any]:
-        """Return ``(hit, value)``; corrupted/stale entries count as misses."""
-        path = self.path_for(key)
-        stale = False
+    def path_for(self, key: str) -> Path:
+        return self._path_at(key, self._width)
+
+    def _alt_paths(self, key: str) -> List[Path]:
+        """The same key's path under every *other* supported layout,
+        legacy two-char prefix first (the layout all prior versions
+        wrote, hence the likeliest hit)."""
+        order = [2, 0, 1, 3]
+        return [
+            self._path_at(key, w) for w in order if w != self._width
+        ]
+
+    # -- reads ---------------------------------------------------------------
+
+    def _read_entry(self, path: Path) -> Tuple[str, Any]:
+        """Classify the entry at ``path``: ``("hit", value)`` /
+        ``("missing", None)`` / ``("stale", None)`` / ``("corrupt", None)``.
+        Never raises; never mutates the filesystem."""
         try:
             with open(path, "rb") as f:
                 entry = pickle.load(f)
-            if isinstance(entry, dict) and entry.get("salt") == self.salt:
-                payload = entry.get("payload")
-                if (
-                    isinstance(payload, bytes)
-                    and entry.get("crc") == zlib.crc32(payload)
-                ):
-                    return True, pickle.loads(payload)
-            else:
-                # A well-formed entry under a different code version isn't
-                # corruption — just drop it rather than quarantining.
-                stale = isinstance(entry, dict) and "salt" in entry
         except FileNotFoundError:
-            return False, None
+            return "missing", None
         except Exception:
-            pass
-        if stale:
+            return "corrupt", None
+        if isinstance(entry, dict) and entry.get("salt") == self.salt:
+            payload = entry.get("payload")
+            if (
+                isinstance(payload, bytes)
+                and entry.get("crc") == zlib.crc32(payload)
+            ):
+                try:
+                    return "hit", pickle.loads(payload)
+                except Exception:
+                    return "corrupt", None
+            return "corrupt", None
+        # A well-formed entry under a different code version isn't
+        # corruption — just drop it rather than quarantining.
+        if isinstance(entry, dict) and "salt" in entry:
+            return "stale", None
+        return "corrupt", None
+
+    def _dispose(self, status: str, path: Path) -> None:
+        if status == "stale":
             try:
                 path.unlink()
             except OSError:
                 pass
-        else:
+        elif status == "corrupt":
             self._quarantine(path)
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """Return ``(hit, value)``; corrupted/stale entries count as misses.
+
+        A key missing from the current shard layout is probed under the
+        other layouts (read-through migration): a valid entry found there
+        is served *and* moved into the current layout, so a cache written
+        at a different ``REPRO_CACHE_SHARDS`` drains into the new
+        placement as it is read, no bulk migration required.
+        """
+        path = self.path_for(key)
+        status, value = self._read_entry(path)
+        if status == "hit":
+            return True, value
+        if status == "missing":
+            return self._get_migrate(key, path)
+        self._dispose(status, path)
         return False, None
 
+    def _get_migrate(self, key: str, dest: Path) -> Tuple[bool, Any]:
+        """Probe alternate shard layouts for ``key``; migrate on hit."""
+        for alt in self._alt_paths(key):
+            status, value = self._read_entry(alt)
+            if status == "missing":
+                continue
+            if status == "hit":
+                try:
+                    self._ensure_dir(dest.parent)
+                    os.replace(alt, dest)
+                except OSError:
+                    pass  # serving the value is what matters
+                return True, value
+            self._dispose(status, alt)
+        return False, None
+
+    def get_many(self, keys: Sequence[str]) -> List[Tuple[bool, Any]]:
+        """Batched :meth:`get`: one call for a whole point list.
+
+        Returns ``[(hit, value), ...]`` aligned with ``keys``.  Existence
+        is resolved with one ``scandir`` per *shard directory* touched by
+        the batch instead of one failed ``open`` per missing key, so a
+        cold sweep over N points costs O(shards-touched) directory reads,
+        not O(N) exceptions.
+        """
+        listed: dict = {}
+
+        def names_in(shard_dir: Path) -> frozenset:
+            cached = listed.get(shard_dir)
+            if cached is None:
+                try:
+                    with os.scandir(shard_dir) as it:
+                        cached = frozenset(e.name for e in it)
+                except OSError:
+                    cached = frozenset()
+                listed[shard_dir] = cached
+            return cached
+
+        out: List[Tuple[bool, Any]] = []
+        for key in keys:
+            path = self.path_for(key)
+            if path.name in names_in(path.parent):
+                status, value = self._read_entry(path)
+                if status == "hit":
+                    out.append((True, value))
+                    continue
+                if status != "missing":
+                    self._dispose(status, path)
+                    out.append((False, None))
+                    continue
+            out.append(self._get_migrate(key, path))
+        return out
+
+    # -- writes --------------------------------------------------------------
+
+    def _ensure_dir(self, parent: Path) -> None:
+        if parent not in self._dirs_made:
+            parent.mkdir(parents=True, exist_ok=True)
+            self._dirs_made.add(parent)
+
     def _quarantine(self, path: Path) -> None:
-        """Move a corrupt entry aside (or delete it if that fails)."""
+        """Move a corrupt entry aside (or delete it if that fails), then
+        trim ``quarantine/`` to :attr:`max_quarantine` oldest-first."""
+        qdir = self.root / _QUARANTINE_DIR
         try:
-            qdir = self.root / _QUARANTINE_DIR
             qdir.mkdir(parents=True, exist_ok=True)
             os.replace(path, qdir / path.name)
             self.quarantined += 1
-            return
         except OSError:
-            pass
+            try:
+                path.unlink()
+                self.quarantined += 1
+            except OSError:
+                return
+        self._trim_quarantine(qdir)
+
+    def _trim_quarantine(self, qdir: Path) -> None:
         try:
-            path.unlink()
-            self.quarantined += 1
+            entries = [
+                (e.stat().st_mtime, e.path)
+                for e in os.scandir(qdir)
+                if e.is_file()
+            ]
         except OSError:
-            pass
+            return
+        if len(entries) <= self.max_quarantine:
+            return
+        entries.sort()
+        for _, stale in entries[: len(entries) - self.max_quarantine]:
+            try:
+                os.unlink(stale)
+            except OSError:
+                pass
+
+    def quarantine_count(self) -> int:
+        """Files currently held in ``quarantine/`` (0 if none/unreadable)."""
+        try:
+            return sum(
+                1 for e in os.scandir(self.root / _QUARANTINE_DIR) if e.is_file()
+            )
+        except OSError:
+            return 0
 
     def put(self, key: str, value: Any) -> None:
         path = self.path_for(key)
         try:
             payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
+            self._ensure_dir(path.parent)
+            try:
+                fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
+            except FileNotFoundError:
+                # Shard dir removed externally since we memoised it.
+                self._dirs_made.discard(path.parent)
+                self._ensure_dir(path.parent)
+                fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
             try:
                 with os.fdopen(fd, "wb") as f:
                     pickle.dump(
@@ -143,3 +354,9 @@ class ResultCache:
                 raise
         except (OSError, pickle.PicklingError):
             pass
+
+    def put_many(self, pairs: Iterable[Tuple[str, Any]]) -> None:
+        """Batched :meth:`put` — same atomic per-entry writes, shard-dir
+        creation amortised across the batch (see :meth:`_ensure_dir`)."""
+        for key, value in pairs:
+            self.put(key, value)

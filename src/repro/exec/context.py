@@ -19,6 +19,13 @@ Environment knobs (both honoured only where no explicit argument wins):
   for pooled sweep points; unset/``0`` means unbounded (the default).
 * ``REPRO_POINT_RETRIES`` — how many times a timed-out point is re-submitted
   before the sweep raises :class:`~repro.exec.pool.PointTimeoutError`.
+* ``REPRO_SCHED`` — sweep scheduler mode: ``steal`` (the default:
+  cost-model chunking, sticky warm-node routing, work stealing),
+  ``nosteal`` (same scheduler, stealing disabled — for A/B runs), or
+  ``off`` (the legacy fixed-chunk ``executor.map`` fan-out).  Results are
+  bit-identical in every mode.
+* ``REPRO_CACHE_SHARDS`` — cache shard count (1/16/256/4096 hex-prefix
+  subdirectories; see :mod:`repro.exec.cache`).
 """
 
 from __future__ import annotations
@@ -35,6 +42,7 @@ __all__ = [
     "ENV_WARM_NODES",
     "ENV_POINT_TIMEOUT",
     "ENV_POINT_RETRIES",
+    "ENV_SCHED",
     "SweepStats",
     "ExecContext",
     "current",
@@ -44,12 +52,32 @@ __all__ = [
     "resolve_warm_nodes",
     "resolve_point_timeout",
     "resolve_point_retries",
+    "resolve_sched",
 ]
 
 ENV_WORKERS = "REPRO_EXEC_WORKERS"
 ENV_WARM_NODES = "REPRO_WARM_NODES"
 ENV_POINT_TIMEOUT = "REPRO_POINT_TIMEOUT_S"
 ENV_POINT_RETRIES = "REPRO_POINT_RETRIES"
+ENV_SCHED = "REPRO_SCHED"
+
+_SCHED_ALIASES = {
+    "": "steal",
+    "steal": "steal",
+    "on": "steal",
+    "1": "steal",
+    "true": "steal",
+    "yes": "steal",
+    "nosteal": "nosteal",
+    "no-steal": "nosteal",
+    "no_steal": "nosteal",
+    "off": "off",
+    "0": "off",
+    "false": "off",
+    "no": "off",
+    "none": "off",
+    "legacy": "off",
+}
 
 
 @dataclass
@@ -68,6 +96,22 @@ class SweepStats:
     #: wall seconds spent computing cache misses (the sweep's simulator
     #: cost, as opposed to ``wall_s`` which spans the whole context).
     run_wall_s: float = 0.0
+    #: scheduler counters (zero when the legacy fan-out ran): chunks
+    #: dispatched, whole-group steals, points routed through the
+    #: scheduler, and points recomputed inline after a pool failure
+    sched_chunks: int = 0
+    sched_steals: int = 0
+    sched_points: int = 0
+    sched_fallbacks: int = 0
+    #: predicted cost total (model units) and worker-side chunk-wall /
+    #: scale-normalised |predicted-actual| sums (seconds) — the report
+    #: line derives the cost-model error percentage from these
+    sched_pred_cost: float = 0.0
+    sched_wall_s: float = 0.0
+    sched_err_s: float = 0.0
+    #: corrupt cache entries currently quarantined (count as of the last
+    #: sweep; the cache bounds the directory, see repro.exec.cache)
+    cache_quarantined: int = 0
     #: per-sweep-kind breakdown: kind -> [points_total, points_run,
     #: cache_hits].  The aggregate counters above fold every kind of work
     #: together (collective points, microbench points, fits, serve-table
@@ -83,6 +127,23 @@ class SweepStats:
         row[1] += run
         row[2] += hits
 
+    def record_sched(self, sstats) -> None:
+        """Fold one scheduled run's :class:`~repro.exec.sched.SchedStats`."""
+        self.sched_chunks += sstats.chunks
+        self.sched_steals += sstats.steals
+        self.sched_points += sstats.points
+        self.sched_fallbacks += sstats.fallback_points
+        self.sched_pred_cost += sstats.predicted_cost
+        self.sched_wall_s += sstats.chunk_wall_s
+        self.sched_err_s += sstats.cost_abs_err_s
+
+    @property
+    def sched_cost_err_pct(self):
+        """Weighted predicted-vs-actual chunk cost error (None: no data)."""
+        if self.sched_wall_s <= 0:
+            return None
+        return 100.0 * self.sched_err_s / self.sched_wall_s
+
     def merge(self, other: "SweepStats") -> None:
         """Fold a child sweep's counters into this one (wall time excluded:
         each context times its own span)."""
@@ -91,16 +152,36 @@ class SweepStats:
         self.cache_hits += other.cache_hits
         self.sim_events += other.sim_events
         self.run_wall_s += other.run_wall_s
+        self.sched_chunks += other.sched_chunks
+        self.sched_steals += other.sched_steals
+        self.sched_points += other.sched_points
+        self.sched_fallbacks += other.sched_fallbacks
+        self.sched_pred_cost += other.sched_pred_cost
+        self.sched_wall_s += other.sched_wall_s
+        self.sched_err_s += other.sched_err_s
+        # Quarantine counts are a cache-level census, not per-sweep deltas:
+        # contexts sharing one cache must not double-count it.
+        self.cache_quarantined = max(
+            self.cache_quarantined, other.cache_quarantined
+        )
         for kind, (total, run, hits) in other.by_kind.items():
             self.record_kind(kind, total, run, hits)
 
     def describe(self) -> str:
-        return (
+        line = (
             f"{self.points_total} points: {self.points_run} run, "
             f"{self.cache_hits} cache hits, workers={self.workers}, "
             f"wall={self.wall_s:.1f}s, sim_events={self.sim_events}, "
             f"run_wall={self.run_wall_s:.1f}s"
         )
+        if self.sched_chunks:
+            err = self.sched_cost_err_pct
+            line += (
+                f", sched={self.sched_chunks} chunks/"
+                f"{self.sched_steals} steals"
+                + (f"/{err:.0f}% cost err" if err is not None else "")
+            )
+        return line
 
 
 def resolve_workers(workers: Union[int, str, None]) -> int:
@@ -168,6 +249,22 @@ def resolve_point_retries(retries: Union[int, str, None]) -> int:
     return max(int(retries), 0)
 
 
+def resolve_sched(sched: Optional[str]) -> str:
+    """Explicit argument > ``REPRO_SCHED`` > ``"steal"``.
+
+    Returns one of ``"steal"`` / ``"nosteal"`` / ``"off"``.
+    """
+    if sched is None:
+        sched = os.environ.get(ENV_SCHED, "")
+    mode = _SCHED_ALIASES.get(str(sched).strip().lower())
+    if mode is None:
+        raise ValueError(
+            f"invalid scheduler mode {sched!r} (set {ENV_SCHED} to "
+            f"'steal', 'nosteal', or 'off')"
+        )
+    return mode
+
+
 def _resolve_cache(cache) -> Optional[ResultCache]:
     if cache is None or cache is False:
         return None
@@ -194,15 +291,23 @@ class ExecContext:
         warm_nodes: Optional[bool] = None,
         point_timeout: Union[float, str, None] = None,
         point_retries: Union[int, str, None] = None,
+        sched: Optional[str] = None,
+        cost_engine=None,
     ):
         self.workers = resolve_workers(workers)
         self.cache = _resolve_cache(cache)
         self.warm_nodes = resolve_warm_nodes(warm_nodes)
         self.point_timeout = resolve_point_timeout(point_timeout)
         self.point_retries = resolve_point_retries(point_retries)
+        self.sched = resolve_sched(sched)
+        #: optional :class:`repro.serve.QueryEngine` the scheduler's cost
+        #: model consults for points whose algorithm has no closed form
+        self.cost_engine = cost_engine
         self.stats = SweepStats(workers=self.workers)
         self._executor = None  # None = not created, False = unavailable
         self._executor_owner: "ExecContext" = self
+        self._sched_pool = None  # None = not created, False = unavailable
+        self._cost_model = None
 
     def executor(self):
         """The shared pool, or ``None`` when serial/unavailable."""
@@ -219,10 +324,51 @@ class ExecContext:
                 return None
         return self._executor
 
+    def sched_pool(self):
+        """The shared :class:`~repro.exec.sched.StickyPool`, or ``None``.
+
+        ``None`` means the scheduler should run inline: serial context,
+        scheduling off, a host whose usable-CPU count makes process
+        fan-out a guaranteed loss (the cost model's cheapest plan), or a
+        pool that broke and was torn down.
+        """
+        if self._executor_owner is not self:
+            return self._executor_owner.sched_pool()
+        if self.workers <= 1 or self.sched == "off" or self._sched_pool is False:
+            return None
+        if self._sched_pool is not None and self._sched_pool.broken:
+            self._sched_pool.close()
+            self._sched_pool = False
+            return None
+        if self._sched_pool is None:
+            from repro.exec.sched import StickyPool, usable_cpus
+
+            size = min(self.workers, usable_cpus())
+            if size < 2:
+                self._sched_pool = False
+                return None
+            try:
+                self._sched_pool = StickyPool(size)
+            except Exception:
+                self._sched_pool = False
+                return None
+        return self._sched_pool
+
+    def cost_model(self):
+        """The context's (lazily built) scheduler cost model."""
+        if self._cost_model is None:
+            from repro.exec.sched import CostModel
+
+            self._cost_model = CostModel(engine=self.cost_engine)
+        return self._cost_model
+
     def close(self) -> None:
         if self._executor_owner is self and self._executor not in (None, False):
             self._executor.shutdown()
         self._executor = None
+        if self._executor_owner is self and self._sched_pool not in (None, False):
+            self._sched_pool.close()
+        self._sched_pool = None
 
 
 _STACK: list[ExecContext] = []
@@ -243,7 +389,8 @@ def use_context(ctx: ExecContext) -> Iterator[ExecContext]:
 
 
 def from_env(
-    workers=None, cache=None, warm_nodes=None, point_timeout=None, point_retries=None
+    workers=None, cache=None, warm_nodes=None, point_timeout=None,
+    point_retries=None, sched=None,
 ) -> ExecContext:
     """Build a context from explicit args, the enclosing context, then env.
 
@@ -269,15 +416,20 @@ def from_env(
         point_timeout = parent.point_timeout
     if point_retries is None and parent is not None:
         point_retries = parent.point_retries
+    if sched is None and parent is not None:
+        sched = parent.sched
     ctx = ExecContext(
         workers=w,
         cache=c,
         warm_nodes=warm_nodes,
         point_timeout=point_timeout,
         point_retries=point_retries,
+        sched=sched,
+        cost_engine=parent.cost_engine if parent is not None else None,
     )
     if parent is not None and parent.workers == ctx.workers:
         # Nested sweeps (run_experiment under a harness context) share the
-        # parent's pool rather than paying start-up again.
+        # parent's pools (executor and scheduler) rather than paying
+        # start-up again.
         ctx._executor_owner = parent
     return ctx

@@ -12,14 +12,17 @@ in-process — same results, just slower.
 
 With ``timeout`` set, each point gets its own wall-clock budget: a point
 that exceeds it is cancelled and re-submitted up to ``retries`` times, then
-the sweep raises :class:`PointTimeoutError`.  The deadline path submits
-points individually instead of using the chunked ``executor.map``, so it
-costs a little more dispatch overhead — it only engages when a timeout is
-actually configured.
+the sweep raises :class:`PointTimeoutError`.  The deadline path keeps a
+full window of individually-submitted points in flight (one per pool
+slot) rather than using the chunked ``executor.map`` — points run
+concurrently, and a timed-out point's retry is re-submitted to the pool's
+idle workers while the rest of the window keeps computing.  It only
+engages when a timeout is actually configured.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Iterable, List, Optional, TypeVar
 
 T = TypeVar("T")
@@ -117,46 +120,92 @@ def _map_with_deadline(
     retries: int,
     broken_pool_exc: type,
 ) -> List[R]:
-    """Point-at-a-time submission with a per-point wall-clock budget.
+    """Windowed concurrent submission with a per-point wall-clock budget.
 
-    A timed-out future cannot be truly cancelled once running, so the
-    stuck worker is abandoned with the pool: we shut the executor down
-    without waiting and re-run the remaining points serially after a
-    retry budget is exhausted — except that raising is the contract here
-    (a point that hangs twice is a bug, not load).  ``TimeoutError`` from
-    ``Future.result`` is caught *before* the broken-pool clause because
-    on Python 3.11+ it is an ``OSError`` subclass.
+    One future per pool slot stays in flight; each carries its own
+    deadline from submit time.  A point past its deadline is cancelled
+    and — while it still has retry budget — immediately re-submitted, so
+    the retry runs on an *idle* worker concurrently with the rest of the
+    window (the hung attempt, if truly running, occupies only its own
+    slot).  A point that exhausts ``retries`` raises
+    :class:`PointTimeoutError` — a point that hangs repeatedly is a bug,
+    not load.  A timed-out future cannot be truly cancelled once running,
+    so on raise an *owned* executor is shut down without waiting; a
+    caller-owned executor is left to its owner.
+
+    Exceptions raised by ``fn`` itself propagate from ``Future.result``;
+    a broken/unusable pool finishes the remaining points serially, same
+    results.
     """
-    from concurrent.futures import TimeoutError as FuturesTimeout
+    from concurrent.futures import FIRST_COMPLETED, wait
 
-    results: List[R] = []
-    i = 0
+    n = len(points)
+    results: List[Optional[R]] = [None] * n
+    done = [False] * n
+    attempts = [0] * n
+    stalled = False  # some attempt overran its deadline (worker may be stuck)
+    width = getattr(executor, "_max_workers", None) or 1
+    width = max(int(width), 1)
+    pending: dict = {}  # future -> (index, deadline)
+    next_i = 0
+
+    def submit(i: int) -> bool:
+        """Submit point ``i``; False means the pool is unusable."""
+        attempts[i] += 1
+        try:
+            fut = executor.submit(fn, points[i])
+        except (broken_pool_exc, OSError, PermissionError, RuntimeError):
+            return False
+        pending[fut] = (i, time.monotonic() + timeout)
+        return True
+
+    def finish_serially() -> List[R]:
+        for fut in pending:
+            fut.cancel()
+        pending.clear()
+        for i in range(n):
+            if not done[i]:
+                results[i] = fn(points[i])
+                done[i] = True
+        return results  # type: ignore[return-value]
+
     try:
-        while i < len(points):
-            pt = points[i]
-            attempt = 0
-            while True:
+        while next_i < n and len(pending) < width:
+            if not submit(next_i):
+                return finish_serially()
+            next_i += 1
+        while pending:
+            horizon = min(dl for _, dl in pending.values())
+            wait_s = max(horizon - time.monotonic(), 0.0)
+            completed, _ = wait(
+                list(pending), timeout=wait_s, return_when=FIRST_COMPLETED
+            )
+            for fut in completed:
+                i, _dl = pending.pop(fut)
                 try:
-                    fut = executor.submit(fn, pt)
-                except (broken_pool_exc, OSError, PermissionError, RuntimeError):
-                    # Pool unusable (broken or shut down): finish serially.
-                    results.extend(_serial(fn, points[i:]))
-                    return results
-                try:
-                    results.append(fut.result(timeout=timeout))
-                    break
-                except FuturesTimeout:
-                    attempt += 1
-                    fut.cancel()
-                    if attempt > retries:
-                        raise PointTimeoutError(i, attempt, timeout) from None
-                    # re-submit; the hung worker (if truly running) keeps a
-                    # pool slot busy, which is why retries should be small.
+                    results[i] = fut.result()
                 except (broken_pool_exc, OSError, PermissionError):
-                    results.extend(_serial(fn, points[i:]))
-                    return results
-            i += 1
-        return results
+                    return finish_serially()
+                done[i] = True
+                if next_i < n:
+                    if not submit(next_i):
+                        return finish_serially()
+                    next_i += 1
+            now = time.monotonic()
+            overdue = [
+                (fut, i) for fut, (i, dl) in pending.items() if dl <= now
+            ]
+            for fut, i in overdue:
+                stalled = True
+                fut.cancel()
+                del pending[fut]
+                if attempts[i] > retries:
+                    raise PointTimeoutError(i, attempts[i], timeout) from None
+                # Re-submit: the pool's idle workers pick it up while the
+                # hung attempt (if truly running) blocks only its slot.
+                if not submit(i):
+                    return finish_serially()
+        return results  # type: ignore[return-value]
     except PointTimeoutError:
         if own:
             # Don't wait: the whole point is that a worker is stuck.
@@ -165,4 +214,7 @@ def _map_with_deadline(
         raise
     finally:
         if own and executor is not None:
-            executor.shutdown(wait=True, cancel_futures=True)
+            # A cancelled-but-running attempt cannot be interrupted; once
+            # anything overran its deadline, don't let an abandoned sleep
+            # hold the (already complete) sweep hostage on shutdown.
+            executor.shutdown(wait=not stalled, cancel_futures=True)

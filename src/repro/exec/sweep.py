@@ -64,13 +64,21 @@ def sweep(
     full values and stays byte-compatible with entries written by older
     code under the same ``CACHE_VERSION``.
 
-    ``group_key`` reorders the cache *misses* before dispatch so points
-    with equal keys land adjacently in worker chunks (ties keep input
-    order).  Used to group points by warm-node pool key: a worker that
-    receives same-keyed points back to back reuses one simulated node
-    instead of rotating through the pool.  Results are still returned in
-    input order, and each point is simulated on a fresh-or-reset node
-    either way, so values are unaffected.
+    ``group_key`` marks points that share a warm-node pool key: the
+    scheduler routes same-keyed points to one worker back to back (so a
+    leased node is reused instead of rotating through the pool) and the
+    legacy fan-out sorts misses so equal keys land adjacently in worker
+    chunks (ties keep input order).  Results are still returned in input
+    order, and each point is simulated on a fresh-or-reset node either
+    way, so values are unaffected.
+
+    Dispatch: with the active context's ``sched`` mode ``steal`` /
+    ``nosteal`` (and no per-point timeout configured), cache misses go
+    through the work-stealing scheduler (:mod:`repro.exec.sched`) —
+    cost-model chunking, sticky routing, streamed results with cache
+    writes overlapped against the remaining compute.  ``sched=off`` or a
+    configured timeout takes the legacy :func:`map_points` path.  Both
+    produce bit-identical values (``tests/test_sched.py``).
     """
     ctx = _context.current()
     cache = ctx.cache if ctx is not None else None
@@ -79,21 +87,65 @@ def sweep(
     results: List[Any] = [_MISS] * len(points)
     keys: List[Optional[str]] = [None] * len(points)
     miss: List[int] = []
-    for i, pt in enumerate(points):
-        if cache is not None:
+    if cache is not None:
+        for i, pt in enumerate(points):
             keys[i] = cache.key_for(
                 kind, payloads[i] if payloads is not None else pt
             )
-            hit, value = cache.get(keys[i])
+        for i, (hit, value) in enumerate(cache.get_many(keys)):
             if hit:
                 results[i] = value
-                continue
-        miss.append(i)
-    if group_key is not None and len(miss) > 1:
-        miss.sort(key=lambda i: (group_key(points[i]), i))
+            else:
+                miss.append(i)
+    else:
+        miss = list(range(len(points)))
     run_wall = 0.0
     sim_events = 0
-    if miss:
+    timeout = ctx.point_timeout if ctx is not None else None
+    use_sched = (
+        ctx is not None
+        and ctx.sched != "off"
+        and timeout is None
+        and len(miss) > 1
+    )
+    if miss and use_sched:
+        from repro.exec import sched as _sched
+
+        miss_points = [points[i] for i in miss]
+        cost = ctx.cost_model().cost
+        costs = [cost(p) for p in miss_points]
+        groups = (
+            [group_key(p) for p in miss_points] if group_key is not None else None
+        )
+
+        def on_result(j: int, value: Any) -> None:
+            # Streams back as chunks complete: decode and write to the
+            # cache *now*, overlapped with the chunks still computing.
+            nonlocal sim_events
+            i = miss[j]
+            if decode is not None:
+                value = decode(value, i)
+            results[i] = value
+            sim_events += getattr(value, "sim_events", 0) or 0
+            if cache is not None:
+                cache.put(keys[i], value)
+
+        t0 = time.perf_counter()
+        _, sstats = _sched.run_scheduled(
+            runner,
+            miss_points,
+            workers=workers,
+            costs=costs,
+            groups=groups,
+            stealing=ctx.sched == "steal",
+            on_result=on_result,
+            pool=ctx.sched_pool(),
+        )
+        run_wall = time.perf_counter() - t0
+        ctx.stats.record_sched(sstats)
+    elif miss:
+        if group_key is not None and len(miss) > 1:
+            miss.sort(key=lambda i: (group_key(points[i]), i))
         executor = ctx.executor() if ctx is not None else None
         t0 = time.perf_counter()
         computed = map_points(
@@ -101,10 +153,11 @@ def sweep(
             [points[i] for i in miss],
             workers,
             executor=executor,
-            timeout=ctx.point_timeout if ctx is not None else None,
+            timeout=timeout,
             retries=ctx.point_retries if ctx is not None else 0,
         )
         run_wall = time.perf_counter() - t0
+        put_batch = []
         for i, value in zip(miss, computed):
             if decode is not None:
                 value = decode(value, i)
@@ -113,7 +166,9 @@ def sweep(
             # cost; cache hits replay none, so only misses count.
             sim_events += getattr(value, "sim_events", 0) or 0
             if cache is not None:
-                cache.put(keys[i], value)
+                put_batch.append((keys[i], value))
+        if put_batch:
+            cache.put_many(put_batch)
     if ctx is not None:
         ctx.stats.points_total += len(points)
         ctx.stats.points_run += len(miss)
@@ -121,6 +176,10 @@ def sweep(
         ctx.stats.sim_events += sim_events
         ctx.stats.run_wall_s += run_wall
         ctx.stats.record_kind(kind, len(points), len(miss), len(points) - len(miss))
+        if cache is not None:
+            ctx.stats.cache_quarantined = max(
+                ctx.stats.cache_quarantined, cache.quarantine_count()
+            )
     return results
 
 
@@ -195,15 +254,37 @@ class _SlimResult:
     xpmem_page_faults: int = 0
 
 
-def _slim_point(spec: CollectiveSpec, warm: bool) -> _CollectivePoint:
-    arch = spec.arch
+#: id(arch) -> (arch, preset-name-or-None).  The full-dataclass equality
+#: check against the preset is expensive enough to show up per point on
+#: thousand-point sweeps, and specs overwhelmingly share one arch object
+#: — memoise the verdict by identity.  The strong reference pins the
+#: object so its id cannot be recycled; bounded, cleared when full.
+_ARCH_TOKENS: dict = {}
+
+
+def _arch_token(arch: Any) -> Optional[str]:
+    ent = _ARCH_TOKENS.get(id(arch))
+    if ent is not None and ent[0] is arch:
+        return ent[1]
+    token = None
     name = getattr(arch, "name", None)
     if isinstance(name, str):
         try:
             if _preset_arch(name) == arch:
-                arch = name
+                token = name
         except KeyError:
             pass
+    if len(_ARCH_TOKENS) > 64:
+        _ARCH_TOKENS.clear()
+    _ARCH_TOKENS[id(arch)] = (arch, token)
+    return token
+
+
+def _slim_point(spec: CollectiveSpec, warm: bool) -> _CollectivePoint:
+    arch = spec.arch
+    token = _arch_token(arch)
+    if token is not None:
+        arch = token
     return _CollectivePoint(
         collective=spec.collective,
         algorithm=spec.algorithm,

@@ -12,6 +12,7 @@ import subprocess
 import sys
 from pathlib import Path
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -226,6 +227,103 @@ class TestLaneKeying:
         # v2 entries were written before lane existed in the key payload;
         # they must silently miss rather than be served cross-lane.
         assert CACHE_VERSION not in ("repro-exec-v1", "repro-exec-v2")
+
+
+class TestShardedCache:
+    """Hex-prefix sharding, read-through migration, and batched I/O."""
+
+    def _width_of(self, shards):
+        from repro.exec.cache import _SHARD_WIDTHS
+
+        return _SHARD_WIDTHS[shards]
+
+    @pytest.mark.parametrize("shards", [1, 16, 256, 4096])
+    def test_roundtrip_under_every_layout(self, tmp_path, shards):
+        cache = ResultCache(tmp_path / "cache", shards=shards)
+        keys = [cache.key_for("shard-test", i) for i in range(8)]
+        for i, key in enumerate(keys):
+            cache.put(key, {"i": i})
+            # the entry sits under the right-width hex prefix directory
+            rel = cache.path_for(key).relative_to(cache.root)
+            width = self._width_of(shards)
+            if width:
+                assert len(rel.parts) == 2 and len(rel.parts[0]) == width
+                assert key.startswith(rel.parts[0])
+            else:
+                assert len(rel.parts) == 1
+        assert [cache.get(k) for k in keys] == [
+            (True, {"i": i}) for i in range(8)
+        ]
+
+    def test_default_layout_matches_legacy_paths(self, tmp_path):
+        # 256 shards = two-hex-char prefix: byte-identical to the layout
+        # every pre-sharding version wrote, so upgrades never migrate.
+        cache = ResultCache(tmp_path / "cache")
+        key = cache.key_for("k", "v")
+        assert cache.shards == 256
+        assert cache.path_for(key) == (
+            cache.root / key[:2] / f"{key}.pkl"
+        )
+
+    @pytest.mark.parametrize("old,new", [(256, 16), (16, 256), (1, 4096)])
+    def test_read_through_migration(self, tmp_path, old, new):
+        writer = ResultCache(tmp_path / "cache", shards=old)
+        key = writer.key_for("migrate", "payload")
+        writer.put(key, "survives relayout")
+        reader = ResultCache(tmp_path / "cache", shards=new)
+        hit, value = reader.get(key)
+        assert hit and value == "survives relayout"
+        # served AND moved: the entry now lives under the new layout only
+        assert reader.path_for(key).exists()
+        assert not writer.path_for(key).exists()
+        assert reader.get(key) == (True, "survives relayout")
+
+    def test_get_many_alignment_and_migration(self, tmp_path):
+        old = ResultCache(tmp_path / "cache", shards=1)
+        cache = ResultCache(tmp_path / "cache", shards=256)
+        keys = [cache.key_for("batch", i) for i in range(10)]
+        for i in (0, 4):  # written under the current layout
+            cache.put(keys[i], f"cur-{i}")
+        old.put(keys[7], "old-7")  # needs read-through migration
+        out = cache.get_many(keys)
+        assert len(out) == len(keys)
+        assert out[0] == (True, "cur-0") and out[4] == (True, "cur-4")
+        assert out[7] == (True, "old-7")
+        assert all(
+            out[i] == (False, None) for i in range(10) if i not in (0, 4, 7)
+        )
+        assert cache.path_for(keys[7]).exists()  # migrated while batched
+
+    def test_put_many_then_get_many(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        pairs = [(cache.key_for("pm", i), i * i) for i in range(12)]
+        cache.put_many(pairs)
+        assert cache.get_many([k for k, _ in pairs]) == [
+            (True, i * i) for i in range(12)
+        ]
+
+    def test_quarantine_is_capped(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache", max_quarantine=5)
+        for i in range(9):
+            key = cache.key_for("corrupt", i)
+            path = cache.path_for(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_bytes(b"garbage %d" % i)
+            hit, _ = cache.get(key)
+            assert not hit
+        assert cache.quarantined == 9  # every corruption was detected...
+        assert cache.quarantine_count() <= 5  # ...but the directory is capped
+
+    def test_shard_env_knob(self, tmp_path, monkeypatch):
+        from repro.exec.cache import ENV_CACHE_SHARDS
+
+        monkeypatch.setenv(ENV_CACHE_SHARDS, "16")
+        assert ResultCache(tmp_path / "cache").shards == 16
+        # explicit argument beats the environment
+        assert ResultCache(tmp_path / "cache", shards=1).shards == 1
+        monkeypatch.setenv(ENV_CACHE_SHARDS, "12")
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path / "cache")
 
 
 def test_put_get_roundtrip_and_atomicity(tmp_path):

@@ -186,6 +186,78 @@ def test_serve_section_is_gated():
     assert "scalar" in sections["serve"][0]
 
 
+def test_sched_section_shape(result):
+    sched = result["sched"]
+    assert set(sched) == {"serial_warm", "sched", "sched_cached"}
+    for key in ("serial_warm", "sched", "sched_cached"):
+        r = sched[key]
+        assert r["points"] > 0
+        assert r["events"] > 0
+        assert r["wall_s"] > 0
+        assert r["events_per_sec"] == pytest.approx(
+            r["events"] / r["wall_s"], rel=1e-2
+        )
+        assert r["points_per_sec"] == pytest.approx(
+            r["points"] / r["wall_s"], rel=1e-2
+        )
+    # all three legs run the same points on the same event streams
+    assert (
+        sched["serial_warm"]["events"]
+        == sched["sched"]["events"]
+        == sched["sched_cached"]["events"]
+    )
+    assert sched["sched"]["chunks"] > 0
+    assert sched["sched"]["steals"] >= 0
+    # the warm leg must serve every point from the sharded cache
+    assert sched["sched_cached"]["cache_hits"] == sched["sched_cached"]["points"]
+    for key in ("sched", "sched_cached"):
+        assert sched[key]["speedup_vs_serial_warm"] > 0
+
+
+def test_sched_section_is_gated():
+    assert "sched" in perfsuite.GATED_SECTIONS
+    base = {"schema": perfsuite.SCHEMA, "engine": {},
+            "sched": {"serial_warm": {"events_per_sec": 90_000.0},
+                      "sched_cached": {"events_per_sec": 900_000.0}}}
+    cur = {"schema": perfsuite.SCHEMA, "engine": {},
+           "sched": {"serial_warm": {"events_per_sec": 80_000.0},
+                     "sched_cached": {"events_per_sec": 200_000.0}}}
+    sections = perfsuite.check_sections(cur, base)
+    assert len(sections["sched"]) == 1
+    assert "sched_cached" in sections["sched"][0]
+
+
+def test_sched_profiler_cli_emits_worker_timeline(tmp_path, capsys):
+    from repro.bench import schedprof
+
+    out = tmp_path / "prof.json"
+    assert schedprof.main(["--profile", "--out", str(out)]) == 0
+    capsys.readouterr()  # drop the "wrote ..." line
+    payload = json.loads(out.read_text())
+    assert payload["slice"] == "mixed"
+    assert payload["points"] == 15
+    assert payload["chunks"] == len(payload["chunk_sizes"])
+    assert sum(payload["chunk_sizes"]) == payload["points"]
+    timeline = payload["workers_timeline"]
+    assert timeline
+    assert sum(w["points_run"] for w in timeline.values()) == payload["points"]
+    assert (
+        sum(w["steals"] for w in timeline.values()) == payload["steals"]
+    )
+    for w in timeline.values():
+        assert len(w["chunks"]) == w["chunks_run"]
+        for rec in w["chunks"]:
+            assert rec["end_s"] >= rec["start_s"]
+        assert w["idle_s"] >= 0
+        assert w["busy_s"] > 0
+    # without --profile the raw per-chunk records are dropped
+    assert schedprof.main(["--nosteal", "--slice", "fig07"]) == 0
+    slim = json.loads(capsys.readouterr().out)
+    assert slim["steals"] == 0
+    assert slim["points"] == 9
+    assert all("chunks" not in w for w in slim["workers_timeline"].values())
+
+
 def test_xpmem_section_is_gated():
     assert "xpmem" in perfsuite.GATED_SECTIONS
     base = {"schema": perfsuite.SCHEMA, "engine": {},
