@@ -38,6 +38,13 @@ def main(argv=None) -> int:
         from repro.bench import faultsweep
 
         return faultsweep.main(argv[1:])
+    if argv and argv[0] == "chaos":
+        # Harness chaos soak + journal resume smoke: seeded worker kills,
+        # stalls, and cache attacks, verified bit-identical — see
+        # repro.bench.chaossoak.
+        from repro.bench import chaossoak
+
+        return chaossoak.main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the paper's evaluation tables and figures.",

@@ -1,0 +1,322 @@
+"""Chaos soak battery: prove sweeps out-survive a hostile harness.
+
+``python -m repro.bench chaos`` arms a seeded :mod:`repro.exec.chaos`
+plan against the execution stack itself — workers SIGKILLed mid-chunk,
+points stalled past the hung-chunk deadline, cache publications
+corrupted, truncated, or torn — then verifies the two properties the
+resilience layer promises:
+
+* **bit-identity**: the chaos run's results equal a clean serial run's,
+  byte for byte, whatever mix of respawn, sandbox rescue, or inline
+  salvage the plan happened to force;
+* **convergent state**: a follow-up run over the same cache quarantines
+  whatever the plan damaged and still reproduces the same bytes.
+
+``--resume-smoke`` exercises the write-ahead journal instead: a
+journalled sweep is run in a subprocess, SIGKILLed at a seeded midpoint,
+resumed in-process, and the resumed results are diffed against an
+uninterrupted run (the journal must replay the completed prefix and be
+retired on success).
+
+Either mode emits one JSON document (injection, respawn, poison, and
+resume counters included) and exits non-zero if any property failed —
+the contract the gated CI chaos jobs consume.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import os
+import pickle
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from repro.exec import ExecContext, use_context
+from repro.exec import chaos
+from repro.exec.chaos import ENV_CHAOS
+from repro.exec.journal import ENV_JOURNAL
+from repro.exec.sched import ENV_HUNG_S, ENV_MAX_RESPAWNS
+from repro.exec.sweep import sweep
+
+__all__ = ["PLAN_TEMPLATES", "run_soak_case", "run_resume_smoke", "main"]
+
+#: per-kind chaos plan templates (seed interpolated per case).  ``hang``
+#: pairs a default 30 s stall with a 1.5 s hung-chunk deadline so the
+#: supervision path — not patience — is what completes the sweep.
+PLAN_TEMPLATES = {
+    "kill": "{seed}:kill@0.3",
+    "hang": "{seed}:stall@0.15",
+    "corrupt": "{seed}:corrupt@0.5",
+    "truncate": "{seed}:truncate@0.5",
+    "tear": "{seed}:tear@0.5",
+}
+
+
+def _soak_point(x: int) -> tuple:
+    """A cheap, pure, deterministic stand-in for a sweep point."""
+    acc = 0
+    for i in range(64):
+        acc = (acc * 1103515245 + x + i) % (1 << 31)
+    return (x, acc)
+
+
+def _resume_point(x: int):
+    """Soak point that simulates power loss at one env-named point."""
+    kill_at = os.environ.get("_REPRO_RESUME_KILL_AT")
+    if kill_at is not None and x == int(kill_at):
+        os.kill(os.getpid(), signal.SIGKILL)
+    return _soak_point(x)
+
+
+def _resume_child() -> None:
+    """Subprocess body for the resume smoke (dies mid-sweep by design)."""
+    jdir = os.environ["_REPRO_RESUME_JDIR"]
+    n = int(os.environ["_REPRO_RESUME_N"])
+    with use_context(ExecContext(workers=1, journal=jdir)):
+        sweep("chaos.resume", _resume_point, list(range(n)))
+
+
+class _env_overlay:
+    """Apply env vars for one case; restore (and re-arm chaos) on exit."""
+
+    def __init__(self, **vars):
+        self.vars = {k: v for k, v in vars.items() if v is not None}
+        self.saved: dict = {}
+
+    def __enter__(self):
+        for k, v in self.vars.items():
+            self.saved[k] = os.environ.get(k)
+            os.environ[k] = v
+        chaos.reset_state()
+        return self
+
+    def __exit__(self, *exc):
+        for k, old in self.saved.items():
+            if old is None:
+                os.environ.pop(k, None)
+            else:
+                os.environ[k] = old
+        chaos.reset_state()
+
+
+def run_soak_case(
+    kind: str,
+    seed: int,
+    npoints: int,
+    workers: int,
+    tmp: Path,
+) -> dict:
+    """One (kind, seed) soak: chaos run + convergence pass, both diffed
+    against the clean serial baseline."""
+    points = list(range(npoints))
+    baseline = pickle.dumps([_soak_point(x) for x in points])
+    plan = PLAN_TEMPLATES[kind].format(seed=seed)
+    cache_dir = tmp / f"cache-{kind}-{seed}"
+    journal_dir = tmp / f"journal-{kind}-{seed}"
+    sweep_kind = f"chaos.soak.{kind}"
+    before = {p.pid for p in multiprocessing.active_children()}
+    t0 = time.monotonic()
+    with _env_overlay(
+        **{
+            ENV_CHAOS: plan,
+            ENV_HUNG_S: "1.5" if kind == "hang" else None,
+            # A generous respawn budget keeps supervision (not the
+            # broken-pool salvage floor) as the path under test.
+            ENV_MAX_RESPAWNS: "64",
+        }
+    ):
+        ctx = ExecContext(
+            workers=workers, cache=cache_dir, journal=journal_dir
+        )
+        # Hand the context an explicit pool: on a host whose usable-CPU
+        # count would pick inline dispatch, worker-scoped chaos (kill,
+        # stall) would never even fire.
+        pooled = False
+        try:
+            from repro.exec.sched import StickyPool
+
+            ctx.adopt_sched_pool(StickyPool(max(workers, 2)))
+            pooled = True
+        except Exception:
+            pass  # fork-restricted host: the case still runs inline
+        with use_context(ctx):
+            got = sweep(sweep_kind, _soak_point, points)
+        st = chaos.state()
+        parent_injections = st.counts() if st is not None else {}
+    chaos_identical = pickle.dumps(got) == baseline
+    # Convergence pass: chaos disarmed, same cache — damaged entries must
+    # be quarantined and recomputed, reproducing the same bytes.
+    with use_context(ExecContext(workers=1, cache=cache_dir)) as ctx2:
+        again = sweep(sweep_kind, _soak_point, points)
+    converged = pickle.dumps(again) == baseline
+    leaked = [
+        p.pid for p in multiprocessing.active_children() if p.pid not in before
+    ]
+    return {
+        "kind": kind,
+        "seed": seed,
+        "plan": plan,
+        "points": npoints,
+        "workers": workers,
+        "pooled": pooled,
+        "wall_s": round(time.monotonic() - t0, 3),
+        "bit_identical": chaos_identical,
+        "converged": converged,
+        "leaked_pids": leaked,
+        "parent_injections": parent_injections,
+        "respawns": ctx.stats.sched_respawns,
+        "hung_kills": ctx.stats.sched_hung_kills,
+        "sandbox_rescues": ctx.stats.sandbox_rescues,
+        "poisoned": ctx.stats.poisoned,
+        "journal_replayed": ctx.stats.journal_replayed,
+        "breaker_state": ctx.stats.breaker_state,
+        "cache_quarantined": max(
+            ctx.stats.cache_quarantined, ctx2.stats.cache_quarantined
+        ),
+        "recomputed_on_converge": ctx2.stats.points_run,
+        "ok": bool(chaos_identical and converged and not leaked),
+    }
+
+
+def run_resume_smoke(seed: int, npoints: int, tmp: Path) -> dict:
+    """Journal smoke: run, SIGKILL at a seeded midpoint, resume, diff."""
+    import random
+
+    points = list(range(npoints))
+    baseline = pickle.dumps([_soak_point(x) for x in points])
+    kill_at = random.Random(f"resume/{seed}").randrange(1, npoints - 1)
+    jdir = tmp / f"journal-resume-{seed}"
+    src_root = str(Path(__file__).resolve().parents[2])
+    env = dict(os.environ)
+    env["_REPRO_RESUME_JDIR"] = str(jdir)
+    env["_REPRO_RESUME_N"] = str(npoints)
+    env["_REPRO_RESUME_KILL_AT"] = str(kill_at)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [src_root, env.get("PYTHONPATH", "")]
+    ).rstrip(os.pathsep)
+    env.pop(ENV_CHAOS, None)
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-c",
+            "from repro.bench.chaossoak import _resume_child; _resume_child()",
+        ],
+        env=env,
+        capture_output=True,
+        timeout=300,
+    )
+    died_by_kill = proc.returncode == -signal.SIGKILL
+    journal_left = len(list(jdir.glob("*.wal"))) if jdir.is_dir() else 0
+    with _env_overlay(**{ENV_JOURNAL: None}):
+        with use_context(ExecContext(workers=1, journal=jdir)) as ctx:
+            resumed = sweep("chaos.resume", _soak_point, points)
+    identical = pickle.dumps(resumed) == baseline
+    retired = len(list(jdir.glob("*.wal"))) == 0 if jdir.is_dir() else True
+    return {
+        "seed": seed,
+        "points": npoints,
+        "kill_at": kill_at,
+        "child_sigkilled": died_by_kill,
+        "journal_left_by_child": journal_left,
+        "journal_replayed": ctx.stats.journal_replayed,
+        "recomputed": ctx.stats.points_run,
+        "bit_identical": identical,
+        "journal_retired": retired,
+        "ok": bool(
+            died_by_kill
+            and journal_left == 1
+            and ctx.stats.journal_replayed >= 1
+            and identical
+            and retired
+        ),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench chaos",
+        description="Soak the execution harness under seeded chaos and "
+        "verify bit-identical completion; emits a JSON summary.",
+    )
+    parser.add_argument(
+        "--kinds",
+        default="kill,hang,corrupt",
+        help=f"comma-separated chaos kinds ({','.join(PLAN_TEMPLATES)})",
+    )
+    parser.add_argument(
+        "--seeds", default="3,11", help="comma-separated plan seeds"
+    )
+    parser.add_argument(
+        "--points", type=int, default=12, help="sweep points per case"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, help="scheduler workers per case"
+    )
+    parser.add_argument(
+        "--resume-smoke",
+        action="store_true",
+        help="run the journal resume smoke instead of the soak matrix "
+        "(run, SIGKILL at a seeded midpoint, resume, diff)",
+    )
+    args = parser.parse_args(argv)
+
+    kinds = [k.strip() for k in args.kinds.split(",") if k.strip()]
+    for k in kinds:
+        if k not in PLAN_TEMPLATES:
+            parser.error(
+                f"unknown chaos kind {k!r} (choose from {','.join(PLAN_TEMPLATES)})"
+            )
+    seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+    if args.points < 4:
+        parser.error("--points must be >= 4")
+
+    tmp = Path(tempfile.mkdtemp(prefix="repro-chaos-"))
+    try:
+        if args.resume_smoke:
+            runs = [
+                run_resume_smoke(seed, args.points, tmp) for seed in seeds
+            ]
+            summary = {
+                "mode": "resume-smoke",
+                "runs": runs,
+                "resumes_ok": sum(1 for r in runs if r["ok"]),
+                "ok": all(r["ok"] for r in runs),
+            }
+        else:
+            cases = [
+                run_soak_case(kind, seed, args.points, args.workers, tmp)
+                for kind in kinds
+                for seed in seeds
+            ]
+            summary = {
+                "mode": "soak",
+                "cases": cases,
+                "injections": {
+                    "respawns": sum(c["respawns"] for c in cases),
+                    "hung_kills": sum(c["hung_kills"] for c in cases),
+                    "sandbox_rescues": sum(c["sandbox_rescues"] for c in cases),
+                    "poisoned": sum(c["poisoned"] for c in cases),
+                    "cache_quarantined": sum(
+                        c["cache_quarantined"] for c in cases
+                    ),
+                },
+                "ok": all(c["ok"] for c in cases),
+            }
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    print(json.dumps(summary, indent=2))
+    return 0 if summary["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -69,6 +69,27 @@ def sweep_summary(stats) -> str:
     quarantined = getattr(stats, "cache_quarantined", 0)
     if quarantined:
         line += f"; {quarantined} quarantined"
+    resilience = []
+    replayed = getattr(stats, "journal_replayed", 0)
+    if replayed:
+        resilience.append(f"{replayed} journal-replayed")
+    respawns = getattr(stats, "sched_respawns", 0)
+    if respawns:
+        resilience.append(f"{respawns} respawns")
+    hung = getattr(stats, "sched_hung_kills", 0)
+    if hung:
+        resilience.append(f"{hung} hung-killed")
+    rescued = getattr(stats, "sandbox_rescues", 0)
+    if rescued:
+        resilience.append(f"{rescued} sandbox-rescued")
+    poisoned = getattr(stats, "poisoned", 0)
+    if poisoned:
+        resilience.append(f"{poisoned} poisoned")
+    breaker = getattr(stats, "breaker_state", "sched")
+    if breaker != "sched":
+        resilience.append(f"breaker={breaker}")
+    if resilience:
+        line += "; resilience: " + "/".join(resilience)
     by_kind = getattr(stats, "by_kind", None)
     if by_kind:
         parts = [

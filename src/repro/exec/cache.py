@@ -24,6 +24,16 @@ a recurring corruption source cannot grow the directory without limit.
 covers a whole point list, amortising shard-directory bookkeeping (and,
 for writes, the ``mkdir`` probe per shard) across the batch instead of
 paying it per point.
+
+Writes are crash-safe, not just atomic: the entry is written to a temp
+file *in the same shard*, flushed and fsync'd, then ``os.replace``'d over
+the target — a kill between write and rename leaves only a stray
+``.tmp-`` file (never a truncated envelope), and a kill after the rename
+leaves a fully durable entry.  ``REPRO_CACHE_FSYNC=0`` trades the
+power-loss guarantee for write speed (the rename alone already protects
+against process death).  Under an armed chaos plan (:mod:`repro.exec.chaos`)
+``put`` is also the injection site for ``corrupt`` / ``truncate`` /
+``tear`` attacks, which the CRC quarantine must absorb.
 """
 
 from __future__ import annotations
@@ -35,6 +45,7 @@ import zlib
 from pathlib import Path
 from typing import Any, Iterable, List, Optional, Sequence, Tuple
 
+from repro.exec import chaos as _chaos
 from repro.exec.keying import digest
 
 __all__ = [
@@ -42,10 +53,12 @@ __all__ = [
     "CACHE_VERSION",
     "ENV_CACHE_DIR",
     "ENV_CACHE_SHARDS",
+    "ENV_CACHE_FSYNC",
     "DEFAULT_SHARDS",
     "DEFAULT_MAX_QUARANTINE",
     "default_cache_dir",
     "resolve_shards",
+    "resolve_cache_fsync",
 ]
 
 #: Code-version salt baked into every key and entry.  Bump whenever the
@@ -58,6 +71,7 @@ CACHE_VERSION = "repro-exec-v3"
 
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 ENV_CACHE_SHARDS = "REPRO_CACHE_SHARDS"
+ENV_CACHE_FSYNC = "REPRO_CACHE_FSYNC"
 
 #: Default shard count: 256 subdirectories keyed on the first two hex
 #: chars of the digest — byte-identical to the paths all earlier versions
@@ -110,6 +124,14 @@ def resolve_shards(shards: Any = None) -> int:
     return shards
 
 
+def resolve_cache_fsync(fsync: Optional[bool] = None) -> bool:
+    """Explicit argument > ``REPRO_CACHE_FSYNC`` > on."""
+    if fsync is not None:
+        return bool(fsync)
+    raw = os.environ.get(ENV_CACHE_FSYNC, "").strip().lower()
+    return raw not in ("0", "off", "false", "no")
+
+
 class ResultCache:
     """On-disk result cache; every operation is best-effort and atomic.
 
@@ -130,11 +152,13 @@ class ResultCache:
         salt: str = CACHE_VERSION,
         shards: Any = None,
         max_quarantine: int = DEFAULT_MAX_QUARANTINE,
+        fsync: Optional[bool] = None,
     ):
         self.root = Path(root) if root is not None else default_cache_dir()
         self.salt = salt
         self.shards = resolve_shards(shards)
         self._width = _SHARD_WIDTHS[self.shards]
+        self.fsync = resolve_cache_fsync(fsync)
         self.max_quarantine = max(int(max_quarantine), 1)
         #: entries found corrupt and moved aside since construction
         self.quarantined = 0
@@ -324,6 +348,8 @@ class ResultCache:
 
     def put(self, key: str, value: Any) -> None:
         path = self.path_for(key)
+        cst = _chaos.state()
+        attack = cst.draw("cache") if cst is not None else None
         try:
             payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
             self._ensure_dir(path.parent)
@@ -345,6 +371,16 @@ class ResultCache:
                         f,
                         protocol=pickle.HIGHEST_PROTOCOL,
                     )
+                    f.flush()
+                    if self.fsync:
+                        # Durable before visible: the rename below must
+                        # never publish an entry the disk doesn't hold yet.
+                        os.fsync(f.fileno())
+                if attack is not None and attack.kind == "tear":
+                    # Chaos: abandon the swap mid-publication — exactly
+                    # the state a kill between write and replace leaves
+                    # (a stray .tmp- file, target untouched).
+                    return
                 os.replace(tmp, path)
             except BaseException:
                 try:
@@ -352,7 +388,28 @@ class ResultCache:
                 except OSError:
                     pass
                 raise
+            if attack is not None:
+                self._chaos_mangle(path, attack.kind)
         except (OSError, pickle.PicklingError):
+            pass
+
+    def _chaos_mangle(self, path: Path, kind: str) -> None:
+        """Damage the just-published entry at rest (chaos ``corrupt`` /
+        ``truncate``) — the CRC envelope must catch it on the next read."""
+        try:
+            size = os.path.getsize(path)
+            if size <= 0:
+                return
+            if kind == "corrupt":
+                with open(path, "r+b") as f:
+                    f.seek(size // 2)
+                    b = f.read(1)
+                    f.seek(size // 2)
+                    f.write(bytes([(b[0] ^ 0xFF) if b else 0xFF]))
+            elif kind == "truncate":
+                with open(path, "r+b") as f:
+                    f.truncate(max(size // 2, 1))
+        except OSError:
             pass
 
     def put_many(self, pairs: Iterable[Tuple[str, Any]]) -> None:

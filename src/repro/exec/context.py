@@ -26,6 +26,14 @@ Environment knobs (both honoured only where no explicit argument wins):
   bit-identical in every mode.
 * ``REPRO_CACHE_SHARDS`` — cache shard count (1/16/256/4096 hex-prefix
   subdirectories; see :mod:`repro.exec.cache`).
+* ``REPRO_SWEEP_JOURNAL`` — directory for the write-ahead sweep journal
+  (:mod:`repro.exec.journal`): every completed point is logged durably, so
+  a killed run resumes instead of restarting.  Unset means no journal.
+
+The context also owns the :class:`~repro.exec.sched.CircuitBreaker`: the
+systemic-failure ladder that degrades dispatch ``sched`` → ``legacy`` →
+``serial`` when a whole pool layer keeps breaking (worker-level trouble
+is handled below it, by the scheduler's supervision).
 """
 
 from __future__ import annotations
@@ -112,6 +120,18 @@ class SweepStats:
     #: corrupt cache entries currently quarantined (count as of the last
     #: sweep; the cache bounds the directory, see repro.exec.cache)
     cache_quarantined: int = 0
+    #: resilience counters (all zero on healthy runs): points served from
+    #: the write-ahead journal on resume, workers respawned, hung-chunk
+    #: kills, sandboxed one-shot rescues, and points quarantined as
+    #: :class:`~repro.exec.sched.PoisonedPoint`
+    journal_replayed: int = 0
+    sched_respawns: int = 0
+    sched_hung_kills: int = 0
+    sandbox_rescues: int = 0
+    poisoned: int = 0
+    #: dispatch layer the context's circuit breaker has degraded to
+    #: ("sched" when healthy; see :class:`~repro.exec.sched.CircuitBreaker`)
+    breaker_state: str = "sched"
     #: per-sweep-kind breakdown: kind -> [points_total, points_run,
     #: cache_hits].  The aggregate counters above fold every kind of work
     #: together (collective points, microbench points, fits, serve-table
@@ -136,6 +156,10 @@ class SweepStats:
         self.sched_pred_cost += sstats.predicted_cost
         self.sched_wall_s += sstats.chunk_wall_s
         self.sched_err_s += sstats.cost_abs_err_s
+        self.sched_respawns += sstats.respawns
+        self.sched_hung_kills += sstats.hung_kills
+        self.sandbox_rescues += sstats.sandbox_rescues
+        self.poisoned += sstats.poisoned
 
     @property
     def sched_cost_err_pct(self):
@@ -159,6 +183,13 @@ class SweepStats:
         self.sched_pred_cost += other.sched_pred_cost
         self.sched_wall_s += other.sched_wall_s
         self.sched_err_s += other.sched_err_s
+        self.journal_replayed += other.journal_replayed
+        self.sched_respawns += other.sched_respawns
+        self.sched_hung_kills += other.sched_hung_kills
+        self.sandbox_rescues += other.sandbox_rescues
+        self.poisoned += other.poisoned
+        if other.breaker_state != "sched":
+            self.breaker_state = other.breaker_state
         # Quarantine counts are a cache-level census, not per-sweep deltas:
         # contexts sharing one cache must not double-count it.
         self.cache_quarantined = max(
@@ -181,6 +212,21 @@ class SweepStats:
                 f"{self.sched_steals} steals"
                 + (f"/{err:.0f}% cost err" if err is not None else "")
             )
+        resilience = []
+        if self.journal_replayed:
+            resilience.append(f"{self.journal_replayed} journal-replayed")
+        if self.sched_respawns:
+            resilience.append(f"{self.sched_respawns} respawns")
+        if self.sched_hung_kills:
+            resilience.append(f"{self.sched_hung_kills} hung-killed")
+        if self.sandbox_rescues:
+            resilience.append(f"{self.sandbox_rescues} sandbox-rescued")
+        if self.poisoned:
+            resilience.append(f"{self.poisoned} poisoned")
+        if self.breaker_state != "sched":
+            resilience.append(f"breaker={self.breaker_state}")
+        if resilience:
+            line += ", resilience: " + "/".join(resilience)
         return line
 
 
@@ -293,7 +339,11 @@ class ExecContext:
         point_retries: Union[int, str, None] = None,
         sched: Optional[str] = None,
         cost_engine=None,
+        journal=None,
     ):
+        from repro.exec.journal import resolve_journal_dir
+        from repro.exec.sched import CircuitBreaker
+
         self.workers = resolve_workers(workers)
         self.cache = _resolve_cache(cache)
         self.warm_nodes = resolve_warm_nodes(warm_nodes)
@@ -303,11 +353,35 @@ class ExecContext:
         #: optional :class:`repro.serve.QueryEngine` the scheduler's cost
         #: model consults for points whose algorithm has no closed form
         self.cost_engine = cost_engine
+        #: write-ahead journal directory (None: journalling off).  Accepts
+        #: a path, ``False`` (explicitly off), or None (consult the env).
+        self.journal_dir = resolve_journal_dir(journal)
         self.stats = SweepStats(workers=self.workers)
         self._executor = None  # None = not created, False = unavailable
         self._executor_owner: "ExecContext" = self
         self._sched_pool = None  # None = not created, False = unavailable
         self._cost_model = None
+        self._journal = None
+        self._breaker = CircuitBreaker()
+
+    @property
+    def breaker(self):
+        """The dispatch circuit breaker — shared with the pool owner, so
+        nested contexts degrade together with the pools they borrow."""
+        if self._executor_owner is not self:
+            return self._executor_owner.breaker
+        return self._breaker
+
+    def journal(self):
+        """The context's :class:`~repro.exec.journal.SweepJournal`, or
+        ``None`` when journalling is off."""
+        if self.journal_dir is None:
+            return None
+        if self._journal is None:
+            from repro.exec.journal import SweepJournal
+
+            self._journal = SweepJournal(self.journal_dir)
+        return self._journal
 
     def executor(self):
         """The shared pool, or ``None`` when serial/unavailable."""
@@ -336,10 +410,21 @@ class ExecContext:
             return self._executor_owner.sched_pool()
         if self.workers <= 1 or self.sched == "off" or self._sched_pool is False:
             return None
-        if self._sched_pool is not None and self._sched_pool.broken:
-            self._sched_pool.close()
-            self._sched_pool = False
+        if self._breaker.state != "sched":
+            # The breaker has degraded dispatch below the scheduler.
+            if self._sched_pool is not None:
+                self._sched_pool.close()
+                self._sched_pool = False
             return None
+        if self._sched_pool is not None and self._sched_pool.broken:
+            # A broken pool is a pool-level failure: count it, then retry
+            # with a fresh pool until the breaker says stop.
+            self._sched_pool.close()
+            self._sched_pool = None
+            self._breaker.record_sched_failure()
+            if self._breaker.state != "sched":
+                self._sched_pool = False
+                return None
         if self._sched_pool is None:
             from repro.exec.sched import StickyPool, usable_cpus
 
@@ -350,9 +435,25 @@ class ExecContext:
             try:
                 self._sched_pool = StickyPool(size)
             except Exception:
+                self._breaker.record_sched_failure()
                 self._sched_pool = False
                 return None
         return self._sched_pool
+
+    def adopt_sched_pool(self, pool) -> None:
+        """Hand the context a caller-built :class:`StickyPool`.
+
+        The chaos soak (and tests) use this to exercise scheduler
+        supervision on hosts whose usable-CPU count would make
+        :meth:`sched_pool` choose inline dispatch.  The context owns the
+        pool from here on — :meth:`close` shuts it down.
+        """
+        if self._executor_owner is not self:
+            self._executor_owner.adopt_sched_pool(pool)
+            return
+        if self._sched_pool not in (None, False):
+            self._sched_pool.close()
+        self._sched_pool = pool
 
     def cost_model(self):
         """The context's (lazily built) scheduler cost model."""
@@ -390,7 +491,7 @@ def use_context(ctx: ExecContext) -> Iterator[ExecContext]:
 
 def from_env(
     workers=None, cache=None, warm_nodes=None, point_timeout=None,
-    point_retries=None, sched=None,
+    point_retries=None, sched=None, journal=None,
 ) -> ExecContext:
     """Build a context from explicit args, the enclosing context, then env.
 
@@ -418,6 +519,8 @@ def from_env(
         point_retries = parent.point_retries
     if sched is None and parent is not None:
         sched = parent.sched
+    if journal is None and parent is not None and parent.journal_dir is not None:
+        journal = parent.journal_dir
     ctx = ExecContext(
         workers=w,
         cache=c,
@@ -426,6 +529,7 @@ def from_env(
         point_retries=point_retries,
         sched=sched,
         cost_engine=parent.cost_engine if parent is not None else None,
+        journal=journal,
     )
     if parent is not None and parent.workers == ctx.workers:
         # Nested sweeps (run_experiment under a harness context) share the

@@ -1,0 +1,300 @@
+"""Write-ahead sweep journal: crash-safe point completion log with resume.
+
+A sweep SIGKILLed hours in currently loses every computed point that had
+not yet reached the result cache — and with the cache off, everything.
+This module gives :func:`repro.exec.sweep.sweep` a write-ahead log: every
+completed point is appended to an on-disk journal *before* the sweep
+moves on, so an interrupted run (``kill -9``, power loss, ctrl-C) resumes
+by replaying the journal, skipping the points it already holds, and
+produces results byte-identical to an uninterrupted run (the recorded
+value *is* the value — the simulator never re-executes a replayed point).
+
+Enable with ``REPRO_SWEEP_JOURNAL=<dir>`` (or ``ExecContext(journal=...)``).
+One journal file per sweep, named by the sweep's **content fingerprint**
+— the digest of the sweep kind plus every point's cache key — so a
+resumed process finds its own journal by recomputing the fingerprint, and
+a journal can never replay into a sweep whose points differ.
+
+File format (all integers little-endian)::
+
+    frame := u32 length | u32 crc32(body) | body
+    body  := pickle of a record tuple
+
+    ("begin",  fingerprint, kind, npoints, salt)   -- first frame
+    ("done",   index, payload)                     -- payload = pickled value
+    ("poison", index, reason)                      -- quarantined point
+
+Appends are flushed and fsync'd per record (``REPRO_JOURNAL_FSYNC=0``
+trades durability for speed), so the journal survives the host dying,
+not just the process.  A kill mid-append leaves a *torn tail*: a frame
+whose length or CRC does not check out.  :meth:`SweepLog.replay`
+truncates the file back to the last intact frame — a torn tail costs at
+most one point, never the journal.  A header that does not match the
+sweep (different fingerprint, point count, or code-version salt) resets
+the file: stale journals are discarded, never replayed.
+
+``poison`` frames are *not* replayed as completions: a point quarantined
+last run (it killed or hung workers, see :mod:`repro.exec.sched`) is
+retried on resume — the failure may have been environmental — but the
+frames keep the quarantine history visible in the resume stats.
+
+The journal complements the result cache: with the cache on, *finished*
+sweeps resume as pure cache hits and the journal only carries the one
+sweep that was mid-flight; with the cache off, the journal alone carries
+it.  A sweep that completes deletes its journal file.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import zlib
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from repro.exec.cache import CACHE_VERSION
+from repro.exec.keying import digest
+
+__all__ = [
+    "ENV_JOURNAL",
+    "ENV_JOURNAL_FSYNC",
+    "SweepJournal",
+    "SweepLog",
+    "sweep_fingerprint",
+    "resolve_journal_dir",
+    "resolve_journal_fsync",
+]
+
+ENV_JOURNAL = "REPRO_SWEEP_JOURNAL"
+ENV_JOURNAL_FSYNC = "REPRO_JOURNAL_FSYNC"
+
+#: frame header: u32 body length, u32 CRC-32 of the body
+_FRAME = struct.Struct("<II")
+
+#: refuse to trust absurd frame lengths (a torn header can decode as a
+#: multi-gigabyte length and stall replay on a sparse read)
+_MAX_FRAME = 256 * 1024 * 1024
+
+
+def resolve_journal_dir(journal: Any = None) -> Optional[Path]:
+    """Explicit argument > ``REPRO_SWEEP_JOURNAL`` > disabled (None)."""
+    if journal is None:
+        raw = os.environ.get(ENV_JOURNAL, "").strip()
+        if not raw:
+            return None
+        journal = raw
+    if journal is False:
+        return None
+    return Path(journal)
+
+
+def resolve_journal_fsync(fsync: Optional[bool] = None) -> bool:
+    """Explicit argument > ``REPRO_JOURNAL_FSYNC`` > on."""
+    if fsync is not None:
+        return bool(fsync)
+    raw = os.environ.get(ENV_JOURNAL_FSYNC, "").strip().lower()
+    return raw not in ("0", "off", "false", "no")
+
+
+def sweep_fingerprint(kind: str, point_digests: list) -> str:
+    """Content fingerprint of one sweep: its kind + per-point cache keys.
+
+    Uses the same canonical digest machinery (and code-version salt) as
+    the cache, so the fingerprint is stable across process restarts and
+    ``PYTHONHASHSEED`` values — the property resume depends on.
+    """
+    return digest("sweep-journal", (kind, list(point_digests)), CACHE_VERSION)
+
+
+def _pack(record: Tuple) -> bytes:
+    body = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+    return _FRAME.pack(len(body), zlib.crc32(body)) + body
+
+
+def _iter_frames(buf: bytes) -> Iterator[Tuple[int, Tuple]]:
+    """Yield ``(end_offset, record)`` per intact frame; stop at the first
+    torn one (short header, short body, CRC mismatch, or unpicklable)."""
+    off = 0
+    n = len(buf)
+    while off + _FRAME.size <= n:
+        length, crc = _FRAME.unpack_from(buf, off)
+        if length > _MAX_FRAME:
+            return
+        end = off + _FRAME.size + length
+        if end > n:
+            return
+        body = buf[off + _FRAME.size : end]
+        if zlib.crc32(body) != crc:
+            return
+        try:
+            record = pickle.loads(body)
+        except Exception:
+            return
+        yield end, record
+        off = end
+
+
+class SweepLog:
+    """One sweep's open journal: replay what's done, append what isn't.
+
+    Never raises out of :meth:`record` / :meth:`record_poison` /
+    :meth:`finish` — a full disk or yanked directory degrades the journal
+    to a no-op, it never fails the sweep it exists to protect.
+    """
+
+    def __init__(
+        self, path: Path, fingerprint: str, kind: str, npoints: int,
+        fsync: bool = True,
+    ):
+        self.path = path
+        self.fingerprint = fingerprint
+        self.kind = kind
+        self.npoints = npoints
+        self.fsync = fsync
+        self._fh = None
+        #: index -> value replayed from disk (filled by :meth:`replay`)
+        self.replayed: Dict[int, Any] = {}
+        #: poison frames seen during replay: index -> reason
+        self.prior_poisons: Dict[int, str] = {}
+        #: frames appended this session (done + poison)
+        self.appended = 0
+
+    # -- open / replay -------------------------------------------------------
+
+    def open(self) -> "SweepLog":
+        """Open (creating if absent), replay intact frames, truncate any
+        torn tail, and leave the handle positioned for appends."""
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+            self._fh = os.fdopen(fd, "r+b")
+            buf = self._fh.read()
+        except OSError:
+            self._close_quietly()
+            return self
+        good_end = 0
+        header_ok = False
+        for end, record in _iter_frames(buf):
+            if not header_ok:
+                if (
+                    isinstance(record, tuple)
+                    and len(record) == 5
+                    and record[0] == "begin"
+                    and record[1] == self.fingerprint
+                    and record[2] == self.kind
+                    and record[3] == self.npoints
+                    and record[4] == CACHE_VERSION
+                ):
+                    header_ok = True
+                    good_end = end
+                    continue
+                break  # foreign/stale journal: reset below
+            if isinstance(record, tuple) and len(record) == 3:
+                tag, i, payload = record
+                if tag == "done" and 0 <= int(i) < self.npoints:
+                    try:
+                        self.replayed[int(i)] = pickle.loads(payload)
+                    except Exception:
+                        # The frame CRC held but the value didn't load
+                        # (e.g. a class renamed between runs): recompute.
+                        pass
+                    good_end = end
+                    continue
+                if tag == "poison" and 0 <= int(i) < self.npoints:
+                    self.prior_poisons[int(i)] = str(payload)
+                    good_end = end
+                    continue
+            break  # unrecognised record: treat like a torn tail
+        try:
+            if not header_ok:
+                # Fresh, stale, or foreign file: restart it whole.
+                self.replayed.clear()
+                self.prior_poisons.clear()
+                self._fh.seek(0)
+                self._fh.truncate(0)
+                self._append(("begin", self.fingerprint, self.kind,
+                              self.npoints, CACHE_VERSION))
+            elif good_end < len(buf):
+                self._fh.seek(good_end)
+                self._fh.truncate(good_end)
+                self._sync()
+            else:
+                self._fh.seek(good_end)
+        except OSError:
+            self._close_quietly()
+        return self
+
+    # -- appends -------------------------------------------------------------
+
+    def _sync(self) -> None:
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+
+    def _append(self, record: Tuple) -> None:
+        if self._fh is None:
+            return
+        try:
+            self._fh.write(_pack(record))
+            self._sync()
+        except OSError:
+            self._close_quietly()
+
+    def record(self, index: int, value: Any) -> None:
+        """Log point ``index`` complete, durably, value included."""
+        if self._fh is None:
+            return
+        try:
+            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            return
+        self._append(("done", int(index), payload))
+        self.appended += 1
+
+    def record_poison(self, index: int, reason: str) -> None:
+        """Log point ``index`` quarantined (kept for reporting; a resume
+        still retries the point — see module docstring)."""
+        self._append(("poison", int(index), str(reason)))
+        self.appended += 1
+
+    # -- completion ----------------------------------------------------------
+
+    def finish(self) -> None:
+        """The sweep completed: the journal has nothing left to protect."""
+        self._close_quietly()
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        """Close without deleting (the sweep did *not* complete)."""
+        self._close_quietly()
+
+    def _close_quietly(self) -> None:
+        fh, self._fh = self._fh, None
+        if fh is not None:
+            try:
+                fh.close()
+            except OSError:
+                pass
+
+
+class SweepJournal:
+    """Factory for per-sweep logs under one journal directory."""
+
+    def __init__(self, root: os.PathLike | str, fsync: Optional[bool] = None):
+        self.root = Path(root)
+        self.fsync = resolve_journal_fsync(fsync)
+
+    def path_for(self, fingerprint: str) -> Path:
+        return self.root / f"{fingerprint}.wal"
+
+    def open_sweep(self, kind: str, point_digests: list) -> SweepLog:
+        """Open (and replay) the journal for the sweep these digests name."""
+        fp = sweep_fingerprint(kind, point_digests)
+        log = SweepLog(
+            self.path_for(fp), fp, kind, len(point_digests), fsync=self.fsync
+        )
+        return log.open()

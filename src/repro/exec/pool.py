@@ -73,7 +73,11 @@ def map_points(
     executor: Optional[object] = None,
     timeout: Optional[float] = None,
     retries: int = 0,
+    on_pool_broken: Optional[Callable[[], None]] = None,
 ) -> List[R]:
+    """``on_pool_broken`` fires (at most once per call) when the executor
+    breaks or refuses work and the sweep falls back to serial — the hook
+    the context's circuit breaker counts pool-level failures through."""
     points = list(points)
     if workers <= 1 or len(points) <= 1:
         return _serial(fn, points)
@@ -88,7 +92,8 @@ def map_points(
             return _serial(fn, points)
     if timeout is not None:
         return _map_with_deadline(
-            fn, points, executor, own, timeout, retries, BrokenProcessPool
+            fn, points, executor, own, timeout, retries, BrokenProcessPool,
+            on_pool_broken,
         )
     chunksize = max(1, len(points) // (workers * 4))
     try:
@@ -99,6 +104,8 @@ def map_points(
             # the sweep still completes serially.  A throwaway pool is torn
             # down *before* the serial recomputation so its workers don't
             # outlive the failure; ``finally`` below then has nothing to do.
+            if on_pool_broken is not None:
+                on_pool_broken()
             if own:
                 executor.shutdown(wait=True, cancel_futures=True)
                 executor = None
@@ -119,6 +126,7 @@ def _map_with_deadline(
     timeout: float,
     retries: int,
     broken_pool_exc: type,
+    on_pool_broken: Optional[Callable[[], None]] = None,
 ) -> List[R]:
     """Windowed concurrent submission with a per-point wall-clock budget.
 
@@ -160,6 +168,8 @@ def _map_with_deadline(
         return True
 
     def finish_serially() -> List[R]:
+        if on_pool_broken is not None:
+            on_pool_broken()
         for fut in pending:
             fut.cancel()
         pending.clear()

@@ -41,29 +41,66 @@ point still executes on a fresh-or-reset node.
 
 On a host where the pool would lose (one usable CPU, or process start-up
 denied), the same chunking/routing machinery runs inline in-process —
-same results, same stats, no IPC tax.  A worker death mid-run marks the
-pool broken and the missing points are recomputed inline, so a sweep
-always completes.
+same results, same stats, no IPC tax.
+
+**Supervision.**  The pool watches its workers, not just their pipes:
+
+* every worker stamps a shared heartbeat slot before each point and
+  reports which point it is on, so the parent distinguishes a *hung*
+  worker (alive, no heartbeat progress for ``REPRO_HUNG_CHUNK_S``
+  seconds while a chunk is in flight) from a *dead* one (``is_alive()``
+  false) — a hung worker is SIGKILLed and treated as lost;
+* results travel over per-worker *lock-free framed pipes* (a length
+  prefix per pickled message, non-blocking parent reads): a SIGKILL
+  landing mid-report can tear at most that worker's own trailing frame —
+  never a lock another worker needs, which a shared queue could strand —
+  and every complete frame the dying worker shipped is salvaged;
+* a lost worker is respawned (fresh inbox and result pipe — a kill can
+  strand the old queue's read lock or leave a torn frame) with
+  exponential backoff, bounded by ``REPRO_SCHED_RESPAWNS`` total
+  respawns per pool, and its unfinished chunk's points are re-dispatched;
+* the point a worker was executing when it was lost takes a **poison
+  strike**; at ``REPRO_POISON_STRIKES`` strikes the point is retried once
+  in a sandboxed one-shot subprocess under a tight deadline, and if that
+  also fails it is **quarantined**: its result slot becomes a
+  :class:`PoisonedPoint` and the sweep completes without it instead of
+  failing (the sweep report carries the quarantine);
+* exhausting the respawn budget marks the pool broken and the missing
+  points are recomputed inline, so a sweep always completes.
+
+:class:`CircuitBreaker` is the systemic-failure ladder above all of
+this: repeated pool-level breakage degrades the context's dispatch from
+this scheduler to the legacy executor fan-out, and from there to inline
+serial — each layer strictly simpler than the one it replaces.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
-import queue as _queue
+import select
+import signal
+import struct
 import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.exec import chaos as _chaos
 
 __all__ = [
     "CostModel",
     "SchedStats",
     "StickyPool",
     "Chunk",
+    "CircuitBreaker",
+    "PoisonedPoint",
     "build_chunks",
     "run_scheduled",
     "usable_cpus",
+    "resolve_hung_s",
+    "resolve_max_respawns",
+    "resolve_poison_strikes",
 ]
 
 #: Outstanding-chunk multiple the adaptive chunker targets per worker:
@@ -85,6 +122,132 @@ def usable_cpus() -> int:
         return len(os.sched_getaffinity(0)) or 1
     except (AttributeError, OSError):
         return os.cpu_count() or 1
+
+
+# --------------------------------------------------------------------------
+# Supervision knobs
+# --------------------------------------------------------------------------
+
+ENV_HUNG_S = "REPRO_HUNG_CHUNK_S"
+ENV_MAX_RESPAWNS = "REPRO_SCHED_RESPAWNS"
+ENV_POISON_STRIKES = "REPRO_POISON_STRIKES"
+
+#: a worker whose in-flight chunk shows no per-point heartbeat progress
+#: for this long is declared hung and killed; generous by default — no
+#: legitimate sweep point is minutes of wall time — and ``0`` disables.
+DEFAULT_HUNG_S = 300.0
+
+#: worker-loss blames before a point is sandboxed instead of re-pooled
+DEFAULT_POISON_STRIKES = 2
+
+#: wall-clock budget of the sandboxed one-shot retry of a poisoned point
+SANDBOX_DEADLINE_S = 10.0
+
+
+def resolve_hung_s(hung_s: Any = None) -> Optional[float]:
+    """Explicit argument > ``REPRO_HUNG_CHUNK_S`` > 300 s; <= 0 disables."""
+    if hung_s is None:
+        raw = os.environ.get(ENV_HUNG_S, "").strip()
+        if not raw:
+            return DEFAULT_HUNG_S
+        hung_s = raw
+    try:
+        hung_s = float(hung_s)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"invalid hung-chunk timeout {hung_s!r} (set {ENV_HUNG_S} to "
+            f"seconds; 0 disables)"
+        ) from None
+    return hung_s if hung_s > 0 else None
+
+
+def resolve_max_respawns(max_respawns: Any, workers: int) -> int:
+    """Explicit argument > ``REPRO_SCHED_RESPAWNS`` > ``4 * workers``."""
+    if max_respawns is None:
+        raw = os.environ.get(ENV_MAX_RESPAWNS, "").strip()
+        if not raw:
+            return 4 * max(int(workers), 1)
+        max_respawns = raw
+    try:
+        return max(int(max_respawns), 0)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"invalid respawn budget {max_respawns!r} (set {ENV_MAX_RESPAWNS} "
+            f"to an integer)"
+        ) from None
+
+
+def resolve_poison_strikes(strikes: Any = None) -> int:
+    """Explicit argument > ``REPRO_POISON_STRIKES`` > 2 (min 1)."""
+    if strikes is None:
+        raw = os.environ.get(ENV_POISON_STRIKES, "").strip()
+        if not raw:
+            return DEFAULT_POISON_STRIKES
+        strikes = raw
+    try:
+        return max(int(strikes), 1)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"invalid poison-strike count {strikes!r} (set "
+            f"{ENV_POISON_STRIKES} to an integer >= 1)"
+        ) from None
+
+
+@dataclass(frozen=True)
+class PoisonedPoint:
+    """A sweep point quarantined by supervision instead of computed.
+
+    Occupies the point's result slot so the sweep completes; the sweep
+    layer skips cache/journal writes for it and counts it in the report.
+    Only ever produced under worker loss (chaos, a genuinely crashing
+    point) — default healthy runs never see one.
+    """
+
+    index: int
+    strikes: int
+    reason: str
+
+
+class CircuitBreaker:
+    """Systemic-failure ladder: ``sched`` → ``legacy`` → ``serial``.
+
+    Worker-level trouble is absorbed by supervision (respawn, poison);
+    the breaker counts *pool-level* failures — a :class:`StickyPool`
+    breaking or refusing to start, the legacy executor breaking — and
+    after ``threshold`` of them at a layer, permanently (for this
+    context) degrades dispatch to the next simpler layer.  Inline serial
+    is the floor: it cannot fail systemically, only per-point.
+    """
+
+    def __init__(self, threshold: int = 2):
+        self.threshold = max(int(threshold), 1)
+        self.sched_failures = 0
+        self.legacy_failures = 0
+
+    @property
+    def state(self) -> str:
+        if self.sched_failures < self.threshold:
+            return "sched"
+        if self.legacy_failures < self.threshold:
+            return "legacy"
+        return "serial"
+
+    def record_sched_failure(self) -> None:
+        self.sched_failures += 1
+
+    def record_legacy_failure(self) -> None:
+        self.legacy_failures += 1
+
+    @property
+    def tripped(self) -> bool:
+        return self.state != "sched"
+
+    def describe(self) -> str:
+        return (
+            f"breaker={self.state}"
+            f" (sched_failures={self.sched_failures},"
+            f" legacy_failures={self.legacy_failures})"
+        )
 
 
 # --------------------------------------------------------------------------
@@ -432,6 +595,16 @@ class SchedStats:
     cost_abs_err_s: float = 0.0
     #: points recomputed inline after a pool failure
     fallback_points: int = 0
+    #: workers respawned after dying or being killed as hung
+    respawns: int = 0
+    #: workers SIGKILLed by hung-chunk detection
+    hung_kills: int = 0
+    #: poisoned points rescued by the sandboxed one-shot retry
+    sandbox_rescues: int = 0
+    #: points quarantined as :class:`PoisonedPoint` (result slot filled
+    #: with the marker, sweep completes without them)
+    poisoned: int = 0
+    poisoned_indices: List[int] = field(default_factory=list)
     #: per-chunk timeline records (only when profiling was requested)
     profile: Optional[List[dict]] = None
 
@@ -494,6 +667,31 @@ class SchedStats:
 # --------------------------------------------------------------------------
 
 
+#: result-pipe frame header: u32 little-endian payload length.  Framing
+#: (rather than a shared ``mp.Queue``) is what makes worker reports safe
+#: against SIGKILL: a kill mid-write tears only the dying worker's own
+#: trailing frame, which the parent simply never parses — a shared locked
+#: queue would instead strand its write lock and deadlock every survivor.
+_FRAME_HDR = struct.Struct("<I")
+
+
+def _send_frame(fd: int, msg: tuple) -> bool:
+    """Ship one framed message up the worker's result pipe.
+
+    False means the parent closed its read end (teardown): the worker
+    should exit quietly rather than retry.
+    """
+    buf = pickle.dumps(msg, protocol=pickle.HIGHEST_PROTOCOL)
+    view = memoryview(_FRAME_HDR.pack(len(buf)) + buf)
+    try:
+        while view:
+            n = os.write(fd, view)
+            view = view[n:]
+    except OSError:
+        return False
+    return True
+
+
 def _worker_warm_keys() -> tuple:
     """This worker's warm-node pool keys (best-effort, never raises)."""
     try:
@@ -504,15 +702,46 @@ def _worker_warm_keys() -> tuple:
         return ()
 
 
-def _worker_main(wid: int, inbox, outbox) -> None:
+def _chaos_point(cst) -> None:
+    """Worker-side chaos draw around one point: kill or stall this worker.
+
+    Only scheduler worker processes draw here — the parent, inline
+    salvage, and the poison-retry sandbox never do, so chaos is always
+    survivable by the supervision layer above it.
+    """
+    spec = cst.draw("point")
+    if spec is None:
+        return
+    if spec.kind == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif spec.kind == "stall":
+        time.sleep(spec.resolved_factor)
+
+
+def _worker_main(wid: int, inbox, out_fd, hb=None, cur=None) -> None:
+    _chaos.set_role(f"w{wid}")
     while True:
         msg = inbox.get()
         if msg is None:
             return
-        epoch, cid, fn, pts = msg
+        epoch, cid, fn, pts, idxs = msg
         t0 = time.monotonic()
         try:
-            vals = [fn(p) for p in pts]
+            cst = _chaos.state()
+            vals = []
+            for k, p in enumerate(pts):
+                # Heartbeat + blame slot: the parent reads these to tell a
+                # hung worker from a busy one, and to know *which* point a
+                # lost worker was on (poison accounting).
+                if hb is not None:
+                    hb[wid] = time.monotonic()
+                if cur is not None:
+                    cur[wid] = idxs[k] if idxs is not None else -1
+                if cst is not None:
+                    _chaos_point(cst)
+                vals.append(fn(p))
+            if cur is not None:
+                cur[wid] = -1
             t1 = time.monotonic()
             # Pre-pickle so an unpicklable value surfaces as an error
             # message instead of killing the queue's feeder thread (which
@@ -523,16 +752,35 @@ def _worker_main(wid: int, inbox, outbox) -> None:
                 pickle.dumps(exc)
             except Exception:
                 exc = RuntimeError(f"worker {wid} failed: {exc!r}")
-            try:
-                outbox.put(("err", epoch, wid, cid, exc))
-            except Exception:
-                return  # queue gone: parent is tearing us down
+            if not _send_frame(out_fd, ("err", epoch, wid, cid, exc)):
+                return  # pipe gone: parent is tearing us down
             continue
-        outbox.put(("done", epoch, wid, cid, buf, t0, t1, _worker_warm_keys()))
+        if not _send_frame(
+            out_fd,
+            ("done", epoch, wid, cid, buf, t0, t1, _worker_warm_keys(), idxs),
+        ):
+            return
+
+
+def _sandbox_main(conn, fn, point) -> None:
+    """One-shot sandbox body: compute the point, ship the value, exit."""
+    try:
+        buf = pickle.dumps(fn(point), protocol=pickle.HIGHEST_PROTOCOL)
+        conn.send(("ok", buf))
+    except BaseException as exc:  # noqa: BLE001 - reported to parent
+        try:
+            conn.send(("err", repr(exc)))
+        except Exception:
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
 
 
 class _SchedBroken(RuntimeError):
-    """Internal: a worker died mid-run (triggers inline salvage)."""
+    """Internal: the pool is unrecoverable (triggers inline salvage)."""
 
 
 # --------------------------------------------------------------------------
@@ -552,7 +800,15 @@ class StickyPool:
     partial result.
     """
 
-    def __init__(self, workers: int, start_method: Optional[str] = None):
+    def __init__(
+        self,
+        workers: int,
+        start_method: Optional[str] = None,
+        hung_s: Any = None,
+        max_respawns: Any = None,
+        poison_strikes: Any = None,
+        sandbox_deadline_s: float = SANDBOX_DEADLINE_S,
+    ):
         import multiprocessing as mp
 
         if workers < 2:
@@ -561,54 +817,190 @@ class StickyPool:
             methods = mp.get_all_start_methods()
             start_method = "fork" if "fork" in methods else None
         ctx = mp.get_context(start_method)
+        self._mp_ctx = ctx
         self.workers = workers
         self.broken = False
+        self.hung_s = resolve_hung_s(hung_s)
+        self.max_respawns = resolve_max_respawns(max_respawns, workers)
+        self.poison_strikes = resolve_poison_strikes(poison_strikes)
+        self.sandbox_deadline_s = float(sandbox_deadline_s)
+        #: workers respawned over this pool's lifetime (budget consumed)
+        self.respawns = 0
+        self._respawn_attempts = [0] * workers
         self._epoch = 0
         #: wid -> last reported warm-node pool keys
         self.warm_keys: Dict[int, tuple] = {}
+        #: lock-free shared slots: last per-point heartbeat and the global
+        #: index of the point each worker is currently executing (-1 idle)
+        self._hb = ctx.Array("d", workers, lock=False)
+        self._cur = ctx.Array("l", workers, lock=False)
+        for wid in range(workers):
+            self._cur[wid] = -1
         self._inboxes = [ctx.SimpleQueue() for _ in range(workers)]
-        self._outbox = ctx.Queue()
+        #: per-worker result pipes: read fd (non-blocking, parent side)
+        #: and a reassembly buffer for partially-arrived frames
+        self._rfds: List[Optional[int]] = [None] * workers
+        self._rbufs: List[bytearray] = [bytearray() for _ in range(workers)]
         self._procs = []
         try:
             for wid in range(workers):
-                p = ctx.Process(
-                    target=_worker_main,
-                    args=(wid, self._inboxes[wid], self._outbox),
-                    daemon=True,
-                    name=f"repro-sched-{wid}",
-                )
-                p.start()
-                self._procs.append(p)
+                self._procs.append(self._spawn(wid))
         except BaseException:
             self.close()
             raise
 
+    def _spawn(self, wid: int):
+        # Fresh result pipe per (re)spawn: a predecessor's torn trailing
+        # frame must never prefix the new worker's stream.  The write end
+        # is closed in the parent immediately after the fork, so exactly
+        # one process ever holds it — later-forked workers cannot inherit
+        # it and keep a dead sibling's pipe half-open.
+        rfd, wfd = os.pipe()
+        os.set_blocking(rfd, False)
+        old = self._rfds[wid]
+        if old is not None:
+            try:
+                os.close(old)
+            except OSError:
+                pass
+        self._rfds[wid] = rfd
+        self._rbufs[wid] = bytearray()
+        try:
+            p = self._mp_ctx.Process(
+                target=_worker_main,
+                args=(wid, self._inboxes[wid], wfd, self._hb, self._cur),
+                daemon=True,
+                name=f"repro-sched-{wid}",
+            )
+            p.start()
+        finally:
+            try:
+                os.close(wfd)
+            except OSError:
+                pass
+        return p
+
+    def _respawn(self, wid: int) -> None:
+        """Replace a lost worker: fresh inbox (a SIGKILL can strand the
+        old queue's read lock mid-``get``) and fresh result pipe
+        (``_spawn`` replaces it, discarding any torn trailing frame),
+        exponential backoff per slot."""
+        self.respawns += 1
+        attempt = self._respawn_attempts[wid]
+        self._respawn_attempts[wid] = attempt + 1
+        delay = min(0.05 * (2 ** attempt), 1.0)
+        if delay > 0:
+            time.sleep(delay)
+        old = self._procs[wid]
+        try:
+            old.join(timeout=0.5)
+        except Exception:
+            pass
+        self._hb[wid] = 0.0
+        self._cur[wid] = -1
+        self._inboxes[wid] = self._mp_ctx.SimpleQueue()
+        self._procs[wid] = self._spawn(wid)
+
     # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:
-        """Stop the workers; safe to call repeatedly."""
+        """Stop the workers — join with a timeout, then terminate, then
+        SIGKILL stragglers — so a failing sweep never leaks a live child
+        process; safe to call repeatedly."""
         for inbox in self._inboxes:
             try:
                 inbox.put(None)
             except Exception:
                 pass
+        # Closing the read ends first turns any worker blocked mid-report
+        # into an EPIPE exit instead of a join-timeout straggler.
+        for fd in self._rfds:
+            if fd is not None:
+                try:
+                    os.close(fd)
+                except OSError:
+                    pass
+        self._rfds = [None] * len(self._rfds)
         for p in self._procs:
             p.join(timeout=2.0)
         for p in self._procs:
             if p.is_alive():
                 p.terminate()
                 p.join(timeout=2.0)
+        for p in self._procs:
+            if p.is_alive():
+                # SIGTERM ignored or blocked: SIGKILL cannot be.
+                try:
+                    p.kill()
+                except Exception:
+                    pass
+                p.join(timeout=2.0)
         self._procs = []
-        try:
-            self._outbox.close()
-        except Exception:
-            pass
+        self._inboxes = []
+        self._rfds = []
+        self._rbufs = []
 
     def __enter__(self) -> "StickyPool":
         return self
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+    # -- result pipes --------------------------------------------------------
+
+    def _drain_worker(self, wid: int) -> List[tuple]:
+        """Every complete frame currently in one worker's result pipe.
+
+        Never blocks: the read end is non-blocking and only whole frames
+        decode — a torn trailing frame from a killed worker sits unparsed
+        in the buffer until the respawn discards it with the pipe.
+        """
+        if wid >= len(self._rfds):
+            return []
+        fd = self._rfds[wid]
+        if fd is None:
+            return []
+        buf = self._rbufs[wid]
+        while True:
+            try:
+                chunk = os.read(fd, 1 << 16)
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:
+                break
+            if not chunk:
+                break  # EOF: the worker is gone; supervision handles it
+            buf += chunk
+        msgs: List[tuple] = []
+        off = 0
+        while len(buf) - off >= _FRAME_HDR.size:
+            (length,) = _FRAME_HDR.unpack_from(buf, off)
+            start = off + _FRAME_HDR.size
+            if len(buf) - start < length:
+                break
+            try:
+                msgs.append(pickle.loads(bytes(buf[start:start + length])))
+            except Exception:
+                pass  # undecodable frame: skip it, framing stays aligned
+            off = start + length
+        if off:
+            del buf[:off]
+        return msgs
+
+    def _poll_messages(self, timeout: float) -> List[tuple]:
+        """Wait up to ``timeout`` for worker reports across all pipes."""
+        fds = [fd for fd in self._rfds if fd is not None]
+        if not fds:
+            time.sleep(timeout)
+            return []
+        try:
+            ready, _, _ = select.select(fds, [], [], timeout)
+        except OSError:
+            return []  # a pipe was replaced under us: caller re-polls
+        msgs: List[tuple] = []
+        for fd in ready:
+            msgs.extend(self._drain_worker(self._rfds.index(fd)))
+        return msgs
 
     # -- dispatch ------------------------------------------------------------
 
@@ -645,54 +1037,173 @@ class StickyPool:
         router = _Router(
             plans, self.workers, stealing=stealing, warm_hint=self.warm_keys
         )
-        total_chunks = sum(len(p.chunks) for p in plans)
         results: List[Any] = [None] * n
         got = [False] * n
+        remaining = n
+        strikes: Dict[int, int] = {}
+        redo: "deque[int]" = deque()
         records: List[Tuple[float, float]] = []
         self._epoch += 1
         epoch = self._epoch
         t_base = time.monotonic()
-        in_flight: Dict[int, Chunk] = {}
+        #: frames drained but not yet handled (the pipe pump can surface
+        #: several completions in one poll)
+        pending_msgs: "deque[tuple]" = deque()
+        #: wid -> (chunk, dispatch timestamp)
+        in_flight: Dict[int, Tuple[Chunk, float]] = {}
+        next_cid = sum(len(p.chunks) for p in plans)
+
+        def fill(i: int, v: Any) -> None:
+            # Deduplicating sink: a hung-killed worker's late completion
+            # can race its points' re-dispatch — first value wins (they
+            # are bit-identical anyway; the simulator is deterministic).
+            nonlocal remaining
+            if got[i]:
+                return
+            got[i] = True
+            remaining -= 1
+            results[i] = v
+            if on_result is not None:
+                on_result(i, v)
+
+        def quarantine(i: int, reason: str) -> None:
+            """Last rung of the poison ladder: sandbox once, then mark."""
+            ok, payload = self._one_shot(fn, points[i])
+            if ok:
+                stats.sandbox_rescues += 1
+                fill(i, payload)
+                return
+            stats.poisoned += 1
+            stats.poisoned_indices.append(i)
+            fill(
+                i,
+                PoisonedPoint(
+                    index=i,
+                    strikes=strikes.get(i, 0),
+                    reason=f"{reason}; sandbox retry: {payload}",
+                ),
+            )
 
         def dispatch(wid: int) -> None:
             ch = router.next_for(wid)
             if ch is None:
-                return
+                # Router drained: pick up re-dispatched points (one per
+                # chunk — they already cost a worker once).
+                nonlocal next_cid
+                while redo and got[redo[0]]:
+                    redo.popleft()
+                if not redo:
+                    return
+                i = redo.popleft()
+                ch = Chunk(next_cid, ("_redo", i), (i,), costs[i])
+                next_cid += 1
             self._inboxes[wid].put(
-                (epoch, ch.cid, fn, [points[i] for i in ch.indices])
+                (epoch, ch.cid, fn, [points[i] for i in ch.indices],
+                 list(ch.indices))
             )
-            in_flight[wid] = ch
+            in_flight[wid] = (ch, time.monotonic())
+
+        def on_worker_lost(wid: int, why: str) -> None:
+            """Blame, requeue, respawn — or escalate to _SchedBroken."""
+            # The dying worker may have shipped complete frames before the
+            # kill landed; salvage them (``fill`` dedupes) before the
+            # respawn discards its pipe.
+            for msg in self._drain_worker(wid):
+                if msg[0] == "done" and msg[1] == epoch and msg[8]:
+                    for i, v in zip(msg[8], pickle.loads(msg[4])):
+                        fill(i, v)
+            ent = in_flight.pop(wid, None)
+            if ent is not None:
+                ch, _t = ent
+                router.on_done(wid)
+                blamed = self._cur[wid]
+                for i in ch.indices:
+                    if got[i]:
+                        continue
+                    if i == blamed:
+                        strikes[i] = strikes.get(i, 0) + 1
+                        if strikes[i] >= self.poison_strikes:
+                            quarantine(
+                                i, f"{why} x{strikes[i]} (worker {wid})"
+                            )
+                            continue
+                    redo.append(i)
+            if self.respawns >= self.max_respawns:
+                raise _SchedBroken(
+                    f"respawn budget exhausted ({self.respawns}/"
+                    f"{self.max_respawns}) after {why}"
+                )
+            self._respawn(wid)
+            stats.respawns += 1
+            dispatch(wid)
+
+        def supervise() -> None:
+            now = time.monotonic()
+            for wid in range(self.workers):
+                p = self._procs[wid]
+                if not p.is_alive():
+                    on_worker_lost(wid, "worker died")
+                    continue
+                ent = in_flight.get(wid)
+                if ent is None or self.hung_s is None:
+                    continue
+                ch, t_disp = ent
+                if now - max(self._hb[wid], t_disp) > self.hung_s:
+                    # Alive but silent past the deadline: hung, not slow —
+                    # every point stamps a heartbeat on entry.
+                    stats.hung_kills += 1
+                    try:
+                        p.kill()
+                    except Exception:
+                        pass
+                    p.join(timeout=2.0)
+                    on_worker_lost(wid, "hung chunk killed")
 
         try:
             for wid in range(self.workers):
                 dispatch(wid)
-            done_chunks = 0
-            while done_chunks < total_chunks:
-                try:
-                    msg = self._outbox.get(timeout=_POLL_S)
-                except _queue.Empty:
-                    if any(not p.is_alive() for p in self._procs):
-                        raise _SchedBroken("scheduler worker died") from None
-                    continue
+            while remaining > 0:
+                if not in_flight:
+                    # Workers idle with work left: top everyone back up
+                    # (points can enter `redo` outside dispatch paths).
+                    for wid in range(self.workers):
+                        if wid not in in_flight:
+                            dispatch(wid)
+                    if not in_flight:
+                        if remaining > 0:
+                            raise _SchedBroken("scheduler starved")
+                        break
+                if not pending_msgs:
+                    pending_msgs.extend(self._poll_messages(_POLL_S))
+                    if not pending_msgs:
+                        supervise()
+                        continue
+                msg = pending_msgs.popleft()
                 tag = msg[0]
                 if tag == "done":
-                    _, ep, wid, cid, buf, t0w, t1w, warm = msg
+                    _, ep, wid, cid, buf, t0w, t1w, warm, idxs = msg
                     if ep != epoch:
                         continue  # stale chunk from an aborted run
-                    ch = in_flight.pop(wid)
+                    ent = in_flight.pop(wid, None)
+                    if ent is None or ent[0].cid != cid:
+                        # Completion raced loss detection (the worker
+                        # finished right before supervision declared it
+                        # lost): salvage the values — `fill` dedupes
+                        # against any re-dispatch already in flight.
+                        if idxs:
+                            for i, v in zip(idxs, pickle.loads(buf)):
+                                fill(i, v)
+                        continue
+                    ch = ent[0]
                     vals = pickle.loads(buf)
                     for i, v in zip(ch.indices, vals):
-                        results[i] = v
-                        got[i] = True
-                        if on_result is not None:
-                            on_result(i, v)
+                        fill(i, v)
                     self.warm_keys[wid] = warm
                     wall = t1w - t0w
                     records.append((ch.cost, wall))
                     stats.note_chunk(
                         wid, ch, wall, t0w - t_base, t1w - t_base, profile
                     )
-                    done_chunks += 1
                     router.on_done(wid)
                     dispatch(wid)
                 elif tag == "err":
@@ -716,6 +1227,50 @@ class StickyPool:
         stats.steals = router.steals
         stats.finalize(records)
         return results, stats
+
+    def _one_shot(self, fn, point) -> Tuple[bool, Any]:
+        """Sandboxed single-point retry under a tight deadline.
+
+        Runs ``fn(point)`` in a fresh subprocess (no scheduler worker
+        state, no chaos role — worker-scoped chaos cannot follow it
+        here) and returns ``(True, value)`` or ``(False, reason)``.
+        """
+        recv = None
+        try:
+            recv, send = self._mp_ctx.Pipe(duplex=False)
+            p = self._mp_ctx.Process(
+                target=_sandbox_main,
+                args=(send, fn, point),
+                daemon=True,
+                name="repro-sched-sandbox",
+            )
+            p.start()
+            send.close()
+            p.join(timeout=self.sandbox_deadline_s)
+            if p.is_alive():
+                try:
+                    p.kill()
+                except Exception:
+                    pass
+                p.join(timeout=2.0)
+                return False, f"deadline {self.sandbox_deadline_s:g}s exceeded"
+            try:
+                if recv.poll(0):
+                    tag, payload = recv.recv()
+                    if tag == "ok":
+                        return True, pickle.loads(payload)
+                    return False, str(payload)
+            except EOFError:
+                pass  # died with the pipe open but nothing written
+            return False, f"sandbox exited {p.exitcode} without a result"
+        except Exception as exc:
+            return False, f"sandbox unavailable: {exc!r}"
+        finally:
+            if recv is not None:
+                try:
+                    recv.close()
+                except Exception:
+                    pass
 
 
 # --------------------------------------------------------------------------

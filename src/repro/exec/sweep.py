@@ -76,9 +76,19 @@ def sweep(
     ``nosteal`` (and no per-point timeout configured), cache misses go
     through the work-stealing scheduler (:mod:`repro.exec.sched`) —
     cost-model chunking, sticky routing, streamed results with cache
-    writes overlapped against the remaining compute.  ``sched=off`` or a
-    configured timeout takes the legacy :func:`map_points` path.  Both
-    produce bit-identical values (``tests/test_sched.py``).
+    writes overlapped against the remaining compute.  ``sched=off``, a
+    configured timeout, or a tripped circuit breaker takes the legacy
+    :func:`map_points` path (a ``serial``-state breaker forces it
+    inline).  Both produce bit-identical values (``tests/test_sched.py``).
+
+    Crash safety: with a journal configured
+    (:attr:`~repro.exec.context.ExecContext.journal_dir`) every computed
+    value is appended to a write-ahead log before the sweep moves on;
+    re-running the same sweep after a kill replays the logged points —
+    values bit-identical, cache state restored — and only computes the
+    rest.  Points quarantined by the scheduler's poison ladder arrive as
+    :class:`~repro.exec.sched.PoisonedPoint` markers in the result list
+    (never cached, never journalled as done); healthy runs never see one.
     """
     ctx = _context.current()
     cache = ctx.cache if ctx is not None else None
@@ -99,83 +109,158 @@ def sweep(
                 miss.append(i)
     else:
         miss = list(range(len(points)))
+    cache_hits = len(points) - len(miss)
+
+    # Write-ahead journal: fingerprint the *whole* sweep (cache state
+    # varies between attempts; the point list is what identifies it),
+    # replay any points a previous killed run already completed, and
+    # restore them into the cache so a resumed run converges on the same
+    # on-disk state an uninterrupted one would have.
+    jlog = None
+    replayed = 0
+    journal = ctx.journal() if ctx is not None else None
+    if journal is not None and miss:
+        if cache is not None:
+            digests = list(keys)
+        else:
+            from repro.exec.keying import digest as _digest
+            from repro.exec.cache import CACHE_VERSION as _SALT
+
+            digests = [
+                _digest(kind, payloads[i] if payloads is not None else pt, _SALT)
+                for i, pt in enumerate(points)
+            ]
+        jlog = journal.open_sweep(kind, digests)
+        if jlog.replayed:
+            still: List[int] = []
+            replay_put = []
+            for i in miss:
+                value = jlog.replayed.get(i, _MISS)
+                if value is _MISS:
+                    still.append(i)
+                    continue
+                results[i] = value
+                replayed += 1
+                if cache is not None:
+                    replay_put.append((keys[i], value))
+            miss = still
+            if replay_put:
+                cache.put_many(replay_put)
+
     run_wall = 0.0
     sim_events = 0
     timeout = ctx.point_timeout if ctx is not None else None
+    breaker = ctx.breaker if ctx is not None else None
     use_sched = (
         ctx is not None
         and ctx.sched != "off"
         and timeout is None
         and len(miss) > 1
+        and (breaker is None or breaker.state == "sched")
     )
-    if miss and use_sched:
-        from repro.exec import sched as _sched
+    try:
+        if miss and use_sched:
+            from repro.exec import sched as _sched
 
-        miss_points = [points[i] for i in miss]
-        cost = ctx.cost_model().cost
-        costs = [cost(p) for p in miss_points]
-        groups = (
-            [group_key(p) for p in miss_points] if group_key is not None else None
-        )
+            miss_points = [points[i] for i in miss]
+            cost = ctx.cost_model().cost
+            costs = [cost(p) for p in miss_points]
+            groups = (
+                [group_key(p) for p in miss_points]
+                if group_key is not None else None
+            )
 
-        def on_result(j: int, value: Any) -> None:
-            # Streams back as chunks complete: decode and write to the
-            # cache *now*, overlapped with the chunks still computing.
-            nonlocal sim_events
-            i = miss[j]
-            if decode is not None:
-                value = decode(value, i)
-            results[i] = value
-            sim_events += getattr(value, "sim_events", 0) or 0
-            if cache is not None:
-                cache.put(keys[i], value)
+            def on_result(j: int, value: Any) -> None:
+                # Streams back as chunks complete: decode and write to the
+                # cache *now*, overlapped with the chunks still computing.
+                nonlocal sim_events
+                i = miss[j]
+                if isinstance(value, _sched.PoisonedPoint):
+                    # Quarantined, not computed: re-anchor the marker to
+                    # the sweep-global index; never cache or journal it
+                    # as done (a resume retries the point).
+                    value = _sched.PoisonedPoint(
+                        index=i, strikes=value.strikes, reason=value.reason
+                    )
+                    results[i] = value
+                    if jlog is not None:
+                        jlog.record_poison(i, value.reason)
+                    return
+                if decode is not None:
+                    value = decode(value, i)
+                results[i] = value
+                sim_events += getattr(value, "sim_events", 0) or 0
+                if cache is not None:
+                    cache.put(keys[i], value)
+                if jlog is not None:
+                    jlog.record(i, value)
 
-        t0 = time.perf_counter()
-        _, sstats = _sched.run_scheduled(
-            runner,
-            miss_points,
-            workers=workers,
-            costs=costs,
-            groups=groups,
-            stealing=ctx.sched == "steal",
-            on_result=on_result,
-            pool=ctx.sched_pool(),
-        )
-        run_wall = time.perf_counter() - t0
-        ctx.stats.record_sched(sstats)
-    elif miss:
-        if group_key is not None and len(miss) > 1:
-            miss.sort(key=lambda i: (group_key(points[i]), i))
-        executor = ctx.executor() if ctx is not None else None
-        t0 = time.perf_counter()
-        computed = map_points(
-            runner,
-            [points[i] for i in miss],
-            workers,
-            executor=executor,
-            timeout=timeout,
-            retries=ctx.point_retries if ctx is not None else 0,
-        )
-        run_wall = time.perf_counter() - t0
-        put_batch = []
-        for i, value in zip(miss, computed):
-            if decode is not None:
-                value = decode(value, i)
-            results[i] = value
-            # Collective results report how many simulator events the point
-            # cost; cache hits replay none, so only misses count.
-            sim_events += getattr(value, "sim_events", 0) or 0
-            if cache is not None:
-                put_batch.append((keys[i], value))
-        if put_batch:
-            cache.put_many(put_batch)
+            t0 = time.perf_counter()
+            _, sstats = _sched.run_scheduled(
+                runner,
+                miss_points,
+                workers=workers,
+                costs=costs,
+                groups=groups,
+                stealing=ctx.sched == "steal",
+                on_result=on_result,
+                pool=ctx.sched_pool(),
+            )
+            run_wall = time.perf_counter() - t0
+            ctx.stats.record_sched(sstats)
+        elif miss:
+            if group_key is not None and len(miss) > 1:
+                miss.sort(key=lambda i: (group_key(points[i]), i))
+            serial_only = breaker is not None and breaker.state == "serial"
+            executor = (
+                ctx.executor() if ctx is not None and not serial_only else None
+            )
+            t0 = time.perf_counter()
+            computed = map_points(
+                runner,
+                [points[i] for i in miss],
+                1 if serial_only else workers,
+                executor=executor,
+                timeout=timeout,
+                retries=ctx.point_retries if ctx is not None else 0,
+                on_pool_broken=(
+                    breaker.record_legacy_failure if breaker is not None else None
+                ),
+            )
+            run_wall = time.perf_counter() - t0
+            put_batch = []
+            for i, value in zip(miss, computed):
+                if decode is not None:
+                    value = decode(value, i)
+                results[i] = value
+                # Collective results report how many simulator events the
+                # point cost; cache hits replay none, so only misses count.
+                sim_events += getattr(value, "sim_events", 0) or 0
+                if cache is not None:
+                    put_batch.append((keys[i], value))
+                if jlog is not None:
+                    jlog.record(i, value)
+            if put_batch:
+                cache.put_many(put_batch)
+    except BaseException:
+        # The sweep did NOT complete: keep the journal for the resume.
+        if jlog is not None:
+            jlog.close()
+        raise
+    if jlog is not None:
+        jlog.finish()
     if ctx is not None:
         ctx.stats.points_total += len(points)
         ctx.stats.points_run += len(miss)
-        ctx.stats.cache_hits += len(points) - len(miss)
+        ctx.stats.cache_hits += cache_hits
+        ctx.stats.journal_replayed += replayed
         ctx.stats.sim_events += sim_events
         ctx.stats.run_wall_s += run_wall
-        ctx.stats.record_kind(kind, len(points), len(miss), len(points) - len(miss))
+        if breaker is not None:
+            ctx.stats.breaker_state = breaker.state
+        ctx.stats.record_kind(
+            kind, len(points), len(miss), cache_hits + replayed
+        )
         if cache is not None:
             ctx.stats.cache_quarantined = max(
                 ctx.stats.cache_quarantined, cache.quarantine_count()

@@ -224,9 +224,24 @@ def table_key(spec: TableSpec, cache: Optional[ResultCache] = None) -> str:
 
 
 def store_table(table: DecisionTable, cache: ResultCache) -> str:
-    """Persist the table as one exec-cache entry; returns its key."""
-    cache.put(table.key, table)
-    return table.key
+    """Persist the table as one exec-cache entry; returns its key.
+
+    Publication is the cache's crash-safe swap (same-shard temp file,
+    fsync, ``os.replace``), and is *audited*: the entry is read back
+    through the CRC envelope before this returns, so a torn or damaged
+    swap (power loss mid-publication, a chaos-plan ``tear``/``corrupt``
+    attack) is caught here — retried once, then surfaced as an error —
+    rather than by some later query engine binding to a missing table.
+    """
+    for _attempt in range(2):
+        cache.put(table.key, table)
+        hit, _ = cache.get(table.key)
+        if hit:
+            return table.key
+    raise OSError(
+        f"serve table {table.key} failed its publication read-back audit "
+        f"(cache dir {cache.root} unwritable or corrupting writes)"
+    )
 
 
 def load_table(spec: TableSpec, cache: ResultCache) -> Optional[DecisionTable]:

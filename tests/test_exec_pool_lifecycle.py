@@ -12,6 +12,7 @@ leaked worker processes or lost results:
 
 import multiprocessing
 import os
+import signal
 import time
 
 import pytest
@@ -23,6 +24,14 @@ _PARENT_ENV = "_REPRO_TEST_PARENT_PID"
 
 def _double(x):
     return x * 2
+
+
+def _ignore_sigterm_and_sleep(x):
+    """Make the hosting worker unkillable by SIGTERM, then park it, so
+    only StickyPool.close()'s SIGKILL escalation can reap it."""
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    time.sleep(600)
+    return x
 
 
 def _raise_on_three(x):
@@ -84,6 +93,32 @@ def test_broken_pool_mid_flight_falls_back_to_serial_results():
         _assert_no_new_children(before)
     finally:
         os.environ.pop(_PARENT_ENV, None)
+
+
+def test_sticky_pool_close_kills_sigterm_ignoring_stragglers():
+    """Satellite regression: close() must escalate join → terminate →
+    SIGKILL, so even a worker that ignores SIGTERM cannot outlive the
+    pool (no stray PIDs after a failing sweep)."""
+    from repro.exec.sched import StickyPool
+
+    before = _live_pids()
+    try:
+        pool = StickyPool(2, hung_s=None)
+    except Exception as exc:  # pragma: no cover - fork-restricted hosts
+        pytest.skip(f"cannot start scheduler workers: {exc}")
+    try:
+        # Park both workers in an unkillable-by-SIGTERM sleep; the None
+        # close sentinel queues behind the sleeping get-loop iteration.
+        for wid, inbox in enumerate(pool._inboxes):
+            inbox.put((pool._epoch + 1, wid, _ignore_sigterm_and_sleep,
+                       [wid], [wid]))
+        time.sleep(0.5)  # let the workers enter the sleep
+    finally:
+        t0 = time.monotonic()
+        pool.close()
+        wall = time.monotonic() - t0
+    assert wall < 15.0, f"close() hung on unkillable workers ({wall:.1f}s)"
+    _assert_no_new_children(before)
 
 
 def test_caller_owned_executor_survives_fn_failure():

@@ -1,0 +1,248 @@
+"""Write-ahead sweep journal: framing, replay, torn tails, SIGKILL resume.
+
+The contract under test (ISSUE 10 tentpole #1): a sweep interrupted by
+``kill -9`` resumes from its journal — completed points are *replayed*
+(the logged value is the value; nothing re-executes) and the resumed
+run's results are byte-identical to an uninterrupted run's, with the
+journal file deleted once the sweep completes.
+"""
+
+import os
+import pickle
+import signal
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.exec import ExecContext, use_context
+from repro.exec.journal import (
+    ENV_JOURNAL,
+    SweepJournal,
+    SweepLog,
+    _pack,
+    sweep_fingerprint,
+)
+from repro.exec.sweep import sweep
+
+
+def _square(x):
+    return x * x
+
+
+# -- frame / replay unit layer ------------------------------------------------
+
+
+class TestSweepLog:
+    def _open(self, tmp_path, fp="fp0", kind="k", n=8):
+        return SweepLog(tmp_path / "j.wal", fp, kind, n).open()
+
+    def test_record_replay_round_trip(self, tmp_path):
+        log = self._open(tmp_path)
+        log.record(0, {"v": 1})
+        log.record(3, [1, 2, 3])
+        log.close()
+        again = self._open(tmp_path)
+        assert again.replayed == {0: {"v": 1}, 3: [1, 2, 3]}
+        again.close()
+
+    def test_torn_tail_is_truncated_not_fatal(self, tmp_path):
+        log = self._open(tmp_path)
+        log.record(0, "a")
+        log.record(1, "b")
+        log.close()
+        path = tmp_path / "j.wal"
+        intact = path.stat().st_size
+        with open(path, "ab") as f:
+            f.write(_pack(("done", 2, pickle.dumps("c")))[:-3])  # torn frame
+        again = self._open(tmp_path)
+        assert again.replayed == {0: "a", 1: "b"}  # the tail cost nothing
+        again.close()
+        assert path.stat().st_size == intact  # and was truncated away
+
+    def test_mid_file_corruption_drops_the_suffix(self, tmp_path):
+        log = self._open(tmp_path)
+        for i in range(4):
+            log.record(i, i * 10)
+        log.close()
+        path = tmp_path / "j.wal"
+        buf = bytearray(path.read_bytes())
+        buf[len(buf) // 2] ^= 0xFF  # flip a byte somewhere in the middle
+        path.write_bytes(bytes(buf))
+        again = self._open(tmp_path)
+        # Every frame before the flipped byte replays; nothing after does,
+        # and none of the replayed values is wrong.
+        for i, v in again.replayed.items():
+            assert v == i * 10
+        assert len(again.replayed) < 4
+        again.close()
+
+    def test_fingerprint_mismatch_resets_the_file(self, tmp_path):
+        log = self._open(tmp_path, fp="fp0")
+        log.record(0, "old")
+        log.close()
+        other = self._open(tmp_path, fp="fp1")  # same path, different sweep
+        assert other.replayed == {}  # stale journal discarded, not replayed
+        other.record(1, "new")
+        other.close()
+        again = self._open(tmp_path, fp="fp1")
+        assert again.replayed == {1: "new"}
+        again.close()
+
+    def test_npoints_mismatch_resets_the_file(self, tmp_path):
+        log = self._open(tmp_path, n=8)
+        log.record(2, "x")
+        log.close()
+        resized = self._open(tmp_path, n=9)
+        assert resized.replayed == {}
+        resized.close()
+
+    def test_poison_frames_replay_as_history_not_completion(self, tmp_path):
+        log = self._open(tmp_path)
+        log.record(0, "ok")
+        log.record_poison(5, "killed workers twice")
+        log.close()
+        again = self._open(tmp_path)
+        assert again.replayed == {0: "ok"}
+        assert again.prior_poisons == {5: "killed workers twice"}
+        again.close()
+
+    def test_finish_deletes_close_keeps(self, tmp_path):
+        path = tmp_path / "j.wal"
+        log = self._open(tmp_path)
+        log.record(0, 1)
+        log.close()
+        assert path.exists()
+        log = self._open(tmp_path)
+        log.finish()
+        assert not path.exists()
+
+    def test_out_of_range_indices_treated_as_torn(self, tmp_path):
+        log = self._open(tmp_path, n=4)
+        log.record(0, "ok")
+        log.close()
+        with open(tmp_path / "j.wal", "ab") as f:
+            f.write(_pack(("done", 99, pickle.dumps("bad"))))
+        again = self._open(tmp_path, n=4)
+        assert again.replayed == {0: "ok"}
+        again.close()
+
+
+class TestFingerprint:
+    def test_kind_and_points_and_order_all_matter(self):
+        a = sweep_fingerprint("k", ["d0", "d1"])
+        assert a == sweep_fingerprint("k", ["d0", "d1"])
+        assert a != sweep_fingerprint("other", ["d0", "d1"])
+        assert a != sweep_fingerprint("k", ["d1", "d0"])
+        assert a != sweep_fingerprint("k", ["d0"])
+
+    def test_journal_names_files_by_fingerprint(self, tmp_path):
+        j = SweepJournal(tmp_path)
+        log = j.open_sweep("k", ["d0", "d1"])
+        assert log.path.parent == tmp_path
+        assert log.path.name == f"{sweep_fingerprint('k', ['d0', 'd1'])}.wal"
+        log.finish()
+
+
+# -- sweep integration --------------------------------------------------------
+
+
+class TestSweepJournalIntegration:
+    def test_completed_sweep_leaves_no_journal(self, tmp_path):
+        with use_context(ExecContext(workers=1, journal=tmp_path)) as ctx:
+            out = sweep("jtest", _square, list(range(6)))
+        assert out == [x * x for x in range(6)]
+        assert list(tmp_path.glob("*.wal")) == []
+        assert ctx.stats.journal_replayed == 0
+
+    def test_resume_replays_and_restores_cache(self, tmp_path):
+        points = list(range(8))
+        cache_dir = tmp_path / "cache"
+        # Simulate the killed first attempt: journal holds points 0-4.
+        with use_context(ExecContext(workers=1, cache=cache_dir)) as ctx:
+            keys = [ctx.cache.key_for("jtest", p) for p in points]
+        fp = sweep_fingerprint("jtest", keys)
+        log = SweepLog(tmp_path / f"{fp}.wal", fp, "jtest", len(points)).open()
+        for i in range(5):
+            log.record(i, points[i] * points[i])
+        log.close()
+        with use_context(
+            ExecContext(workers=1, cache=cache_dir, journal=tmp_path)
+        ) as ctx:
+            out = sweep("jtest", _square, points)
+            # Replayed values also restore cache-state parity.
+            hits = sum(1 for hit, _ in ctx.cache.get_many(keys) if hit)
+        assert out == [x * x for x in points]
+        assert ctx.stats.journal_replayed == 5
+        assert ctx.stats.points_run == 3
+        assert hits == len(points)
+        assert list(tmp_path.glob("*.wal")) == []
+
+
+_KILL_SCRIPT = textwrap.dedent(
+    """
+    import os, signal, sys
+    sys.path.insert(0, {src!r})
+    from repro.exec import ExecContext, use_context
+    from repro.exec.sweep import sweep
+
+    KILL_AT = int(os.environ["KILL_AT"])
+
+    def runner(x):
+        if x == KILL_AT:
+            os.kill(os.getpid(), signal.SIGKILL)  # power-loss simulation
+        return x * x
+
+    with use_context(ExecContext(workers=1, journal=os.environ["JDIR"])):
+        sweep("jtest-kill", runner, list(range(int(os.environ["NPOINTS"]))))
+    """
+)
+
+
+def _square_kill_immune(x):
+    return x * x
+
+
+class TestSigkillResume:
+    @pytest.mark.parametrize("kill_at", [0, 7, 15])
+    def test_sigkilled_sweep_resumes_bit_identical(self, tmp_path, kill_at):
+        """Kill the sweep *process* at a midpoint; the resumed run must
+        produce byte-identical results and delete the journal."""
+        npoints = 16
+        env = dict(
+            os.environ,
+            JDIR=str(tmp_path),
+            KILL_AT=str(kill_at),
+            NPOINTS=str(npoints),
+        )
+        env.pop("REPRO_CACHE_DIR", None)
+        proc = subprocess.run(
+            [sys.executable, "-c", _KILL_SCRIPT.format(src="src")],
+            env=env,
+            cwd=os.getcwd(),
+            capture_output=True,
+            timeout=120,
+        )
+        assert proc.returncode == -signal.SIGKILL, proc.stderr.decode()
+        wals = list(tmp_path.glob("*.wal"))
+        assert len(wals) == 1, "the killed run must leave its journal"
+        serial = [x * x for x in range(npoints)]
+        with use_context(ExecContext(workers=1, journal=tmp_path)) as ctx:
+            out = sweep("jtest-kill", _square_kill_immune, list(range(npoints)))
+        assert pickle.dumps(out) == pickle.dumps(serial)
+        # Everything the killed run logged was replayed, never recomputed;
+        # the kill point itself was not logged, so at least one point ran.
+        assert ctx.stats.journal_replayed + ctx.stats.points_run == npoints
+        assert ctx.stats.points_run >= 1
+        if kill_at > 0:
+            assert ctx.stats.journal_replayed >= 1
+        assert list(tmp_path.glob("*.wal")) == []
+
+    def test_env_knob_reaches_the_context(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ENV_JOURNAL, str(tmp_path))
+        ctx = ExecContext(workers=1)
+        assert ctx.journal_dir == tmp_path
+        assert ctx.journal() is not None
+        monkeypatch.delenv(ENV_JOURNAL)
+        assert ExecContext(workers=1).journal() is None

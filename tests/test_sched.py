@@ -38,6 +38,7 @@ from repro.exec.pool import map_points
 from repro.exec.sched import (
     MAX_CHUNK,
     CostModel,
+    PoisonedPoint,
     StickyPool,
     _Router,
     build_chunks,
@@ -74,8 +75,20 @@ def _raise_on_neg(x):
 
 def _exit_in_worker(x):
     """Kill the hosting process — but only when it isn't the test parent
-    (inline salvage must be able to run this very function safely)."""
+    (inline salvage must be able to run this very function safely).
+    Also kills the poison sandbox, which is not the parent either."""
     if str(os.getpid()) != os.environ.get("SCHED_TEST_PARENT_PID", ""):
+        os._exit(23)
+    return x * 3
+
+
+def _exit_in_sched_worker(x):
+    """Kill scheduler worker processes only: the poison-retry sandbox
+    (named ``repro-sched-sandbox``) and the parent run it fine."""
+    import multiprocessing as mp
+
+    if mp.current_process().name.startswith("repro-sched-") and \
+            "sandbox" not in mp.current_process().name:
         os._exit(23)
     return x * 3
 
@@ -137,9 +150,9 @@ def _serial_baseline():
     return _BASELINE
 
 
-def _make_pool(workers):
+def _make_pool(workers, **kwargs):
     try:
-        return StickyPool(workers)
+        return StickyPool(workers, **kwargs)
     except Exception as exc:  # pragma: no cover - fork-restricted hosts
         pytest.skip(f"cannot start scheduler workers: {exc}")
 
@@ -450,9 +463,11 @@ class TestCostModel:
 
 
 class TestSchedRobustness:
-    def test_worker_death_salvages_inline(self, monkeypatch):
+    def test_respawn_budget_exhaustion_salvages_inline(self, monkeypatch):
+        """Old salvage contract, now behind the respawn budget: when the
+        pool cannot keep workers alive it breaks and recomputes inline."""
         monkeypatch.setenv("SCHED_TEST_PARENT_PID", str(os.getpid()))
-        pool = _make_pool(2)
+        pool = _make_pool(2, max_respawns=1, poison_strikes=99)
         try:
             results, stats = pool.run(
                 _exit_in_worker, [1, 2, 3, 4], costs=[1.0] * 4
@@ -462,6 +477,41 @@ class TestSchedRobustness:
         assert results == [3, 6, 9, 12]
         assert stats.fallback_points >= 1
         assert pool.broken
+
+    def test_repeat_killer_points_are_quarantined(self, monkeypatch):
+        """A point that keeps killing workers (and the sandbox) becomes a
+        PoisonedPoint; the sweep completes and the pool stays usable."""
+        monkeypatch.setenv("SCHED_TEST_PARENT_PID", str(os.getpid()))
+        pool = _make_pool(2, max_respawns=50, poison_strikes=2)
+        try:
+            results, stats = pool.run(
+                _exit_in_worker, [1, 2, 3, 4], costs=[1.0] * 4
+            )
+            assert not pool.broken
+            assert all(isinstance(r, PoisonedPoint) for r in results)
+            assert stats.poisoned == 4
+            assert sorted(stats.poisoned_indices) == [0, 1, 2, 3]
+            assert stats.respawns >= 4
+            # The pool survived the quarantine: a healthy run still works.
+            healthy, _ = pool.run(_double, [5, 6], costs=[1.0] * 2)
+        finally:
+            pool.close()
+        assert healthy == [10, 12]
+
+    def test_sandbox_rescues_worker_killer(self):
+        """A point that only kills *scheduler workers* is rescued by the
+        sandboxed one-shot retry — full results, zero quarantines."""
+        pool = _make_pool(2, max_respawns=50, poison_strikes=1)
+        try:
+            results, stats = pool.run(
+                _exit_in_sched_worker, [1, 2, 3, 4], costs=[1.0] * 4
+            )
+        finally:
+            pool.close()
+        assert results == [3, 6, 9, 12]
+        assert stats.sandbox_rescues >= 1
+        assert stats.poisoned == 0
+        assert not pool.broken
 
     def test_point_exception_propagates_and_pool_survives(self):
         pool = _make_pool(2)

@@ -1,0 +1,242 @@
+"""Supervision layer: hung-chunk detection, randomized worker loss, and
+the circuit breaker's degradation ladder.
+
+The contract under test (ISSUE 10 tentpole #2): worker-level trouble —
+dead workers, hung chunks, repeat-killer points — is absorbed below the
+sweep (respawn, poison ladder, sandbox), and *pool-level* trouble
+degrades dispatch sched → legacy → serial without ever changing results.
+"""
+
+import multiprocessing
+import os
+import pickle
+import time
+
+import pytest
+
+from repro.exec import ExecContext, use_context
+from repro.exec import chaos
+from repro.exec.chaos import ENV_CHAOS
+from repro.exec.sched import (
+    DEFAULT_HUNG_S,
+    CircuitBreaker,
+    StickyPool,
+    resolve_hung_s,
+    resolve_max_respawns,
+    resolve_poison_strikes,
+)
+from repro.exec.sweep import sweep
+
+
+def _triple(x):
+    return x * 3
+
+
+def _square(x):
+    return x * x
+
+
+def _stall_in_sched_worker(x):
+    """Hang forever — but only inside a scheduler worker process; the
+    sandbox and inline salvage (different process names) compute fine."""
+    name = multiprocessing.current_process().name
+    if name.startswith("repro-sched-") and "sandbox" not in name:
+        time.sleep(600)
+    return x * 3
+
+
+def _live_pids():
+    return {p.pid for p in multiprocessing.active_children()}
+
+
+def _assert_no_new_children(before, deadline_s=10.0):
+    deadline = time.monotonic() + deadline_s
+    while True:
+        leftover = [p for p in multiprocessing.active_children()
+                    if p.pid not in before]
+        if not leftover:
+            return
+        if time.monotonic() > deadline:
+            raise AssertionError(f"stray workers survived: {leftover}")
+        time.sleep(0.05)
+
+
+def _make_pool(**kwargs):
+    try:
+        return StickyPool(2, **kwargs)
+    except Exception as exc:  # pragma: no cover - fork-restricted hosts
+        pytest.skip(f"cannot start scheduler workers: {exc}")
+
+
+# -- knob resolution ----------------------------------------------------------
+
+
+class TestKnobs:
+    def test_hung_s(self, monkeypatch):
+        assert resolve_hung_s(None) == DEFAULT_HUNG_S
+        assert resolve_hung_s(12.5) == 12.5
+        assert resolve_hung_s(0) is None  # <= 0 disables detection
+        monkeypatch.setenv("REPRO_HUNG_CHUNK_S", "7")
+        assert resolve_hung_s(None) == 7.0
+        with pytest.raises(ValueError):
+            resolve_hung_s("soon")
+
+    def test_max_respawns(self, monkeypatch):
+        assert resolve_max_respawns(None, 4) == 16
+        assert resolve_max_respawns(3, 4) == 3
+        monkeypatch.setenv("REPRO_SCHED_RESPAWNS", "9")
+        assert resolve_max_respawns(None, 4) == 9
+
+    def test_poison_strikes(self, monkeypatch):
+        assert resolve_poison_strikes(None) == 2
+        assert resolve_poison_strikes(0) == 1  # floor: one strike minimum
+        monkeypatch.setenv("REPRO_POISON_STRIKES", "5")
+        assert resolve_poison_strikes(None) == 5
+
+
+# -- hung-chunk detection -----------------------------------------------------
+
+
+class TestHungChunks:
+    def test_hung_worker_is_killed_and_point_rescued(self):
+        """A chunk that stalls forever must be detected by heartbeat age
+        (the worker is *alive*, just silent), the worker killed, and the
+        blamed point rescued in the sandbox — the sweep completes with
+        correct values instead of hanging for REPRO_HUNG_CHUNK_S."""
+        points = list(range(4))
+        before = _live_pids()
+        pool = _make_pool(hung_s=0.75, poison_strikes=1, max_respawns=50)
+        try:
+            t0 = time.monotonic()
+            results, stats = pool.run(
+                _stall_in_sched_worker, points, costs=[1.0] * len(points)
+            )
+            wall = time.monotonic() - t0
+        finally:
+            pool.close()
+        assert results == [x * 3 for x in points]
+        assert stats.hung_kills >= 1
+        assert stats.sandbox_rescues >= 1
+        assert stats.poisoned == 0
+        assert wall < 60.0, f"hung detection took {wall:.1f}s"
+        _assert_no_new_children(before)
+
+    def test_hung_detection_can_be_disabled(self):
+        pool = _make_pool(hung_s=0)  # <= 0 resolves to None: never kill
+        try:
+            assert pool.hung_s is None
+            # Healthy work still flows with detection off.
+            results, stats = pool.run(_triple, [1, 2, 3, 4], costs=[1.0] * 4)
+        finally:
+            pool.close()
+        assert results == [3, 6, 9, 12]
+        assert stats.hung_kills == 0
+
+
+# -- randomized worker loss ---------------------------------------------------
+
+
+class TestRandomizedWorkerLoss:
+    def test_seeded_kill_storms_keep_bit_identity(self):
+        """Property-style battery: across randomized chaos seeds and sweep
+        sizes, SIGKILLed workers mid-chunk must never change results —
+        whatever mix of respawn, salvage, sandbox rescue, or inline
+        fallback each seed happens to exercise."""
+        hypothesis = pytest.importorskip("hypothesis")
+        from hypothesis import HealthCheck, given, settings, strategies as st
+
+        @settings(
+            max_examples=5,
+            deadline=None,
+            suppress_health_check=list(HealthCheck),
+        )
+        @given(seed=st.integers(0, 10_000), npoints=st.integers(4, 12))
+        def battery(seed, npoints):
+            points = list(range(npoints))
+            serial = [_triple(x) for x in points]
+            os.environ[ENV_CHAOS] = f"{seed}:kill@0.4"
+            chaos.reset_state()
+            try:
+                pool = _make_pool(max_respawns=40, poison_strikes=2)
+                try:
+                    results, _stats = pool.run(
+                        _triple, points, costs=[1.0] * npoints
+                    )
+                finally:
+                    pool.close()
+            finally:
+                os.environ.pop(ENV_CHAOS, None)
+                chaos.reset_state()
+            assert pickle.dumps(results) == pickle.dumps(serial)
+
+        before = _live_pids()
+        battery()
+        _assert_no_new_children(before)
+
+    def test_killed_sweep_workers_with_journal_replays_cleanly(
+        self, tmp_path, monkeypatch
+    ):
+        """Full-stack: a journalled scheduled sweep under a kill plan must
+        finish bit-identical to serial and retire its journal (nothing
+        half-recorded left behind)."""
+        points = list(range(10))
+        serial = [x * x for x in points]
+        before = _live_pids()
+        monkeypatch.setenv(ENV_CHAOS, "11:kill@0.3")
+        monkeypatch.setenv("REPRO_SCHED_RESPAWNS", "64")
+        chaos.reset_state()
+        try:
+            ctx = ExecContext(workers=2, journal=tmp_path)
+            # Adopt an explicit pool: a one-usable-CPU host would pick
+            # inline dispatch, where worker-scoped chaos never fires.
+            ctx.adopt_sched_pool(_make_pool())
+            with use_context(ctx):
+                results = sweep("supervision-kill", _square, points)
+        finally:
+            monkeypatch.delenv(ENV_CHAOS, raising=False)
+            chaos.reset_state()
+        assert pickle.dumps(results) == pickle.dumps(serial)
+        assert list(tmp_path.glob("*.wal")) == []
+        assert ctx.stats.poisoned == 0
+        _assert_no_new_children(before)
+
+
+# -- circuit breaker ----------------------------------------------------------
+
+
+class TestCircuitBreaker:
+    def test_degradation_ladder(self):
+        b = CircuitBreaker(threshold=2)
+        assert b.state == "sched" and not b.tripped
+        b.record_sched_failure()
+        assert b.state == "sched"
+        b.record_sched_failure()
+        assert b.state == "legacy" and b.tripped
+        b.record_legacy_failure()
+        b.record_legacy_failure()
+        assert b.state == "serial"
+        assert "serial" in b.describe()
+
+    def test_tripped_breaker_stops_sched_pool_creation(self):
+        ctx = ExecContext(workers=2)
+        try:
+            ctx.breaker.record_sched_failure()
+            ctx.breaker.record_sched_failure()
+            assert ctx.breaker.state == "legacy"
+            assert ctx.sched_pool() is None
+        finally:
+            ctx.close()
+
+    def test_serial_breaker_forces_inline_sweep(self):
+        ctx = ExecContext(workers=2)
+        for _ in range(2):
+            ctx.breaker.record_sched_failure()
+            ctx.breaker.record_legacy_failure()
+        assert ctx.breaker.state == "serial"
+        try:
+            with use_context(ctx):
+                results = sweep("breaker-serial", _square, list(range(6)))
+        finally:
+            ctx.close()
+        assert results == [x * x for x in range(6)]
+        assert ctx.stats.breaker_state == "serial"
